@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Ablations for the design choices DESIGN.md calls out, beyond the
+ * paper's own Section 5 studies:
+ *
+ *  - MDC size sweep (the paper fixes 64 KB; how sensitive is the OS
+ *    workload to it?)
+ *  - MDC miss penalty sweep (what the 29 cycles are worth)
+ *  - fixed-average vs distance-based network transit
+ *  - NACK retry backoff policy (flat vs exponential)
+ *  - handler timing source: PPsim emulation vs the Table 3.4 constants
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+using namespace flashsim;
+using namespace flashsim::bench;
+
+namespace
+{
+
+Tick
+execOf(const MachineConfig &cfg, const std::string &app)
+{
+    return runApp(cfg, app).summary.execTime;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("FlashSim design ablations\n=========================\n\n");
+
+    // 1. MDC geometry sweep on the MDC-heaviest workload.
+    std::printf("1. MAGIC data cache size (OS workload, FLASH):\n");
+    Tick mdc_base = 0;
+    for (std::uint32_t kb : {16u, 32u, 64u, 128u}) {
+        MachineConfig cfg = MachineConfig::flash(8);
+        cfg.magic.mdcBytes = kb * 1024;
+        Tick t = execOf(cfg, "os");
+        if (kb == 64)
+            mdc_base = t;
+        std::printf("   %4u KB MDC: %9llu cycles\n", kb,
+                    static_cast<unsigned long long>(t));
+    }
+
+    // 2. MDC miss penalty.
+    std::printf("\n2. MDC miss penalty (OS workload, 64 KB MDC; paper "
+                "charges 29 cycles):\n");
+    for (Cycles pen : {Cycles{0}, Cycles{29}, Cycles{60}}) {
+        MachineConfig cfg = MachineConfig::flash(8);
+        cfg.magic.mdcMissPenalty = pen;
+        std::printf("   penalty %2llu: %9llu cycles\n",
+                    static_cast<unsigned long long>(pen),
+                    static_cast<unsigned long long>(execOf(cfg, "os")));
+    }
+    (void)mdc_base;
+
+    // 3. Network model: paper's fixed average vs per-pair distances.
+    std::printf("\n3. Network transit model (FFT, FLASH):\n");
+    {
+        MachineConfig avg = MachineConfig::flash(16);
+        MachineConfig dist = MachineConfig::flash(16);
+        dist.net.distanceBased = true;
+        std::printf("   fixed 22-cycle average: %9llu cycles\n",
+                    static_cast<unsigned long long>(execOf(avg, "fft")));
+        std::printf("   per-pair mesh distance: %9llu cycles\n",
+                    static_cast<unsigned long long>(execOf(dist, "fft")));
+    }
+
+    // 4. NACK retry backoff (MP3D has the most transient racing).
+    std::printf("\n4. NACK retry base backoff (MP3D, FLASH; retries "
+                "double per consecutive NACK from this base):\n");
+    for (Cycles b : {Cycles{4}, Cycles{16}, Cycles{64}}) {
+        MachineConfig cfg = MachineConfig::flash(16);
+        cfg.magic.nackRetryBackoff = b;
+        RunOutcome r = runApp(cfg, "mp3d");
+        std::printf("   base %2llu: %9llu cycles, %llu NACKs\n",
+                    static_cast<unsigned long long>(b),
+                    static_cast<unsigned long long>(r.summary.execTime),
+                    static_cast<unsigned long long>(r.summary.nacksSent));
+    }
+
+    // 5. Timing source: PPsim-executed handlers vs Table 3.4 constants.
+    std::printf("\n5. Handler timing source (FFT, FLASH):\n");
+    {
+        MachineConfig emu = MachineConfig::flash(16);
+        MachineConfig table = MachineConfig::flash(16);
+        table.magic.usePpEmulator = false;
+        Tick te = execOf(emu, "fft");
+        Tick tt = execOf(table, "fft");
+        std::printf("   PPsim-executed handlers: %9llu cycles\n",
+                    static_cast<unsigned long long>(te));
+        std::printf("   Table 3.4 constants:     %9llu cycles "
+                    "(%.1f%% apart)\n",
+                    static_cast<unsigned long long>(tt),
+                    100.0 * (static_cast<double>(te) /
+                                 static_cast<double>(tt) -
+                             1.0));
+    }
+
+    std::printf("\nDone.\n");
+    return 0;
+}

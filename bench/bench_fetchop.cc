@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Fetch&op vs cached read-modify-write for hot synchronization.
+ *
+ * FLASH's MAGIC can perform fetch&op directly at the home memory — a
+ * protocol the flexible controller loads like any other. A hot counter
+ * updated this way costs one round trip per operation with zero
+ * coherence traffic, where the cached version ping-pongs ownership,
+ * invalidates sharers, and NACK-retries through transient states.
+ * Measured here: a contended counter at increasing processor counts,
+ * and the combining-tree barrier with fetch&op vs cached arrivals.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.hh"
+
+using namespace flashsim;
+using namespace flashsim::bench;
+
+namespace
+{
+
+Tick
+hotCounter(int procs, bool use_fetchop, Counter *nacks)
+{
+    MachineConfig cfg = MachineConfig::flash(procs);
+    Machine m(cfg);
+    Addr a = m.alloc(kLineSize, 0);
+    Tick t = m.run([=](tango::Env &env) -> tango::Task {
+        co_await env.busy(0);
+        for (int i = 0; i < 32; ++i) {
+            if (use_fetchop) {
+                co_await env.fetchOp(a);
+            } else {
+                co_await env.read(a);
+                co_await env.write(a);
+            }
+            co_await env.busy(64);
+        }
+    });
+    if (nacks) {
+        *nacks = 0;
+        for (int i = 0; i < procs; ++i)
+            *nacks += m.node(i).magic().nacksSent;
+    }
+    return t;
+}
+
+Tick
+barrierStorm(int procs, bool use_fetchop)
+{
+    MachineConfig cfg = MachineConfig::flash(procs);
+    Machine m(cfg);
+    auto bar = std::make_shared<tango::BarrierVar>(m.makeBarrier());
+    bar->useFetchOp = use_fetchop;
+    return m.run([=](tango::Env &env) -> tango::Task {
+        co_await env.busy(0);
+        for (int round = 0; round < 16; ++round) {
+            co_await env.busy(200);
+            co_await env.barrier(*bar);
+        }
+    });
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Fetch&op at the home memory vs cached "
+                "read-modify-write\n\n");
+
+    std::printf("Hot counter, 32 increments per processor:\n");
+    std::printf("%6s | %12s %8s | %12s %8s | %8s\n", "procs", "cached",
+                "NACKs", "fetch&op", "NACKs", "speedup");
+    for (int procs : {4, 8, 16, 32}) {
+        Counter n_cached = 0, n_fop = 0;
+        Tick cached = hotCounter(procs, false, &n_cached);
+        Tick fop = hotCounter(procs, true, &n_fop);
+        std::printf("%6d | %12llu %8llu | %12llu %8llu | %7.2fx\n",
+                    procs, static_cast<unsigned long long>(cached),
+                    static_cast<unsigned long long>(n_cached),
+                    static_cast<unsigned long long>(fop),
+                    static_cast<unsigned long long>(n_fop),
+                    static_cast<double>(cached) /
+                        static_cast<double>(fop));
+    }
+
+    std::printf("\nCombining-tree barrier, 16 episodes:\n");
+    std::printf("%6s | %12s | %12s | %8s\n", "procs", "cached arrivals",
+                "fetch&op", "speedup");
+    for (int procs : {16, 64}) {
+        Tick cached = barrierStorm(procs, false);
+        Tick fop = barrierStorm(procs, true);
+        std::printf("%6d | %12llu | %12llu | %7.2fx\n", procs,
+                    static_cast<unsigned long long>(cached),
+                    static_cast<unsigned long long>(fop),
+                    static_cast<double>(cached) /
+                        static_cast<double>(fop));
+    }
+
+    std::printf("\n(the fetch&op handlers are ordinary PP programs — "
+                "loading them is the flexibility the paper is "
+                "pricing)\n");
+    return 0;
+}

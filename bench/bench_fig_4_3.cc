@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Reproduces Figure 4.3 and the small-cache columns of Table 4.2: FFT,
+ * MP3D and Radix with 4 KB caches, Ocean with 16 KB (the paper uses
+ * 16 KB for Ocean because of line-conflict problems at 4 KB; Barnes,
+ * LU and the OS workload are not run at this size). With working sets
+ * far beyond the cache, most misses are satisfied locally, where the
+ * latency difference between FLASH and the ideal machine is smallest —
+ * so the relative cost of flexibility stays moderate even though the
+ * machines spend most of their time in the memory system.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+using namespace flashsim;
+using namespace flashsim::bench;
+
+int
+main()
+{
+    std::printf("Figure 4.3 / Table 4.2 (4 KB caches; Ocean 16 KB)\n\n");
+    machine::ProbeResult fp =
+        machine::probeMissLatencies(MachineConfig::flash(16));
+    machine::ProbeResult ip =
+        machine::probeMissLatencies(MachineConfig::ideal(16));
+
+    struct Row
+    {
+        const char *app;
+        std::uint32_t cacheBytes;
+        double paperMiss;     // Table 4.2 small-cache column
+        double paperLocalClean;
+    };
+    const Row rows[] = {
+        {"fft", 4096, 8.7, 64.7},
+        {"mp3d", 4096, 11.4, 3.8},
+        {"ocean", 16384, 10.0, 95.6},
+        {"radix", 4096, 10.0, 91.3},
+    };
+
+    std::printf("Execution time breakdowns (FLASH normalized to 100):\n");
+    std::vector<std::pair<std::string, Pair>> results;
+    for (const Row &row : rows) {
+        Pair p = runPair(row.app, 16, row.cacheBytes);
+        printBars(row.app, p);
+        results.emplace_back(row.app, std::move(p));
+    }
+
+    std::printf("\nTable 4.2 statistics (measured):\n");
+    for (auto &[app, p] : results)
+        printTable41Row(app, p, fp.latency, ip.latency);
+
+    std::printf("\nPaper vs measured (small caches):\n");
+    std::printf("%-8s | %8s %8s | %8s %8s\n", "app", "missP", "missM",
+                "LCp", "LCm");
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        auto &[app, p] = results[i];
+        std::printf("%-8s | %7.2f%% %7.2f%% | %7.1f%% %7.1f%%\n",
+                    app.c_str(), rows[i].paperMiss,
+                    100.0 * p.flash.summary.missRate,
+                    rows[i].paperLocalClean,
+                    100.0 * p.flash.summary.dist.localClean);
+    }
+    std::printf("\n(key shape: with tiny caches the miss mix shifts to "
+                "local lines, so the FLASH/ideal gap does not blow up)\n");
+    return 0;
+}

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Reproduces the Section 4.3 occupancy experiments:
+ *
+ *  1. FFT with 4 KB caches and ALL memory allocated on node 0: the
+ *     paper measures 81.6% PP occupancy on node 0 but only a 2.6%
+ *     FLASH/ideal difference, because node 0's memory occupancy is
+ *     simultaneously high (67.7%) — the protocol processing hides
+ *     under the memory access time.
+ *
+ *  2. The OS workload with first-fit page placement (the original
+ *     bus-oriented IRIX port): maximum PP occupancy 81% with memory
+ *     occupancy only 33%, costing FLASH 29% against the ideal machine;
+ *     round-robin placement (the tuned kernel) recovers it.
+ *
+ * The paper's conclusion: high PP occupancy hurts only when memory
+ * occupancy is simultaneously low.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+using namespace flashsim;
+using namespace flashsim::bench;
+
+namespace
+{
+
+struct HotspotResult
+{
+    Pair pair;
+    double maxPpOcc = 0;
+    double maxMemOcc = 0;
+};
+
+HotspotResult
+run(const std::string &app, int procs, std::uint32_t cache,
+    machine::Placement placement)
+{
+    HotspotResult r;
+    MachineConfig f = MachineConfig::flash(procs, cache);
+    MachineConfig i = MachineConfig::ideal(procs, cache);
+    f.placement = placement;
+    i.placement = placement;
+    r.pair.flash = runApp(f, app);
+    r.pair.ideal = runApp(i, app);
+    const Machine &m = *r.pair.flash.machine;
+    for (int n = 0; n < m.numProcs(); ++n) {
+        r.maxPpOcc = std::max(
+            r.maxPpOcc,
+            m.node(n).magic().ppOcc.fraction(m.executionTime()));
+        r.maxMemOcc = std::max(
+            r.maxMemOcc,
+            m.node(n).magic().memory().occ.fraction(m.executionTime()));
+    }
+    return r;
+}
+
+void
+report(const char *label, const HotspotResult &r, double paper_pp,
+       double paper_mem, double paper_slowdown)
+{
+    std::printf("%-34s maxPP %5.1f%% (paper %4.0f%%)  maxMem %5.1f%% "
+                "(paper %4.0f%%)  FLASH +%5.1f%% (paper +%.1f%%)\n",
+                label, 100.0 * r.maxPpOcc, paper_pp, 100.0 * r.maxMemOcc,
+                paper_mem, r.pair.slowdownPct(), paper_slowdown);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Section 4.3: PP occupancy vs memory occupancy\n\n");
+
+    // FFT, 4 KB caches, all pages on node 0.
+    HotspotResult fft_hot =
+        run("fft", 16, 4096, machine::Placement::Node0);
+    report("FFT 4KB, all memory on node 0:", fft_hot, 81.6, 67.7, 2.6);
+
+    // Baseline FFT with round-robin placement for contrast.
+    HotspotResult fft_rr =
+        run("fft", 16, 4096, machine::Placement::RoundRobinPages);
+    report("FFT 4KB, round-robin pages:", fft_rr, 0, 0, 0);
+
+    std::printf("\n");
+
+    // OS workload: first-fit (original IRIX) vs round-robin (tuned).
+    HotspotResult os_ff =
+        run("os", 8, 1u << 20, machine::Placement::FirstFit);
+    report("OS, first-fit placement:", os_ff, 81, 33, 29);
+    HotspotResult os_rr =
+        run("os", 8, 1u << 20, machine::Placement::RoundRobinPages);
+    report("OS, round-robin placement:", os_rr, 0, 0, 10);
+
+    std::printf("\nShape check: the hot node's PP occupancy is high in "
+                "both hot-spot runs, but only the OS/first-fit case "
+                "(high PP occupancy with LOW memory occupancy) costs "
+                "FLASH significantly against the ideal machine.\n");
+    return 0;
+}

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Reproduces Table 3.3 ("Memory Latencies and Occupancies, No
+ * Contention") and the Figure 3.1 sub-operation walkthrough, printing
+ * paper values next to measured values for FLASH and the ideal machine.
+ * Also echoes the Table 3.2 sub-operation latencies the model is built
+ * from.
+ */
+
+#include <cstdio>
+
+#include "machine/runner.hh"
+
+using namespace flashsim;
+using namespace flashsim::machine;
+
+namespace
+{
+
+struct Row
+{
+    const char *name;
+    double paper_ideal;
+    double paper_flash;
+    double paper_occ;
+    double MissLatencies::*slot;
+};
+
+const Row kRows[] = {
+    {"Local read, clean in memory", 24, 27, 11,
+     &MissLatencies::localClean},
+    {"Local read, dirty in remote cache", 100, 143, 53,
+     &MissLatencies::localDirtyRemote},
+    {"Remote read, clean in home memory", 92, 111, 16,
+     &MissLatencies::remoteClean},
+    {"Remote read, dirty in home cache", 100, 145, 53,
+     &MissLatencies::remoteDirtyHome},
+    {"Remote read, dirty in 3rd node", 136, 191, 61,
+     &MissLatencies::remoteDirtyRemote},
+};
+
+void
+printTable32(const magic::MagicParams &p)
+{
+    std::printf("Table 3.2: sub-operation latencies (10 ns cycles)\n");
+    std::printf("  miss detect %llu, bus transit %llu, PI in %llu, "
+                "PI out %llu (ideal %llu)\n",
+                (unsigned long long)p.missDetect,
+                (unsigned long long)p.busTransit,
+                (unsigned long long)p.piInbound,
+                (unsigned long long)p.piOutbound,
+                (unsigned long long)p.piOutboundIdeal);
+    std::printf("  cache state retrieve %llu, cache data retrieve %llu\n",
+                (unsigned long long)p.cacheStateRetrieve,
+                (unsigned long long)p.cacheDataRetrieve);
+    std::printf("  NI in %llu, NI out %llu, inbox arb %llu, jump table "
+                "%llu, outbox %llu\n",
+                (unsigned long long)p.niInbound,
+                (unsigned long long)p.niOutbound,
+                (unsigned long long)p.inboxArb,
+                (unsigned long long)p.jumpTable,
+                (unsigned long long)p.outbox);
+    std::printf("  MDC miss penalty %llu, memory access %llu\n\n",
+                (unsigned long long)p.mdcMissPenalty,
+                (unsigned long long)p.memAccess);
+}
+
+} // namespace
+
+int
+main()
+{
+    MachineConfig flash_cfg = MachineConfig::flash(16);
+    MachineConfig ideal_cfg = MachineConfig::ideal(16);
+    printTable32(flash_cfg.magic);
+
+    std::printf("Probing the five read-miss classes "
+                "(16-node machines, no contention)...\n\n");
+    ProbeResult pf = probeMissLatencies(flash_cfg);
+    ProbeResult pi = probeMissLatencies(ideal_cfg);
+
+    std::printf("Table 3.3: memory latencies and occupancies, no "
+                "contention (10 ns cycles)\n");
+    std::printf("%-36s | %6s %6s | %6s %6s | %7s %7s | %6s %6s\n",
+                "operation", "idealP", "idealM", "flashP", "flashM",
+                "deltaP", "deltaM", "occP", "occM");
+    for (const Row &r : kRows) {
+        double im = pi.latency.*(r.slot);
+        double fm = pf.latency.*(r.slot);
+        double om = pf.ppOccupancy.*(r.slot);
+        std::printf("%-36s | %6.0f %6.0f | %6.0f %6.0f | %7.0f %7.0f | "
+                    "%6.0f %6.0f\n",
+                    r.name, r.paper_ideal, im, r.paper_flash, fm,
+                    r.paper_flash - r.paper_ideal, fm - im, r.paper_occ,
+                    om);
+    }
+    std::printf("\n(P = paper value, M = measured; delta = FLASH - "
+                "ideal, the cost of flexibility per miss class)\n");
+
+    std::printf("\nFigure 3.1: sub-operations of a local clean read\n");
+    const magic::MagicParams &p = flash_cfg.magic;
+    Tick t = 0;
+    std::printf("  t=%2llu processor detects miss\n",
+                (unsigned long long)t);
+    t += p.missDetect + p.busTransit;
+    std::printf("  t=%2llu request on bus at MAGIC\n",
+                (unsigned long long)t);
+    t += p.piInbound + p.inboxArb;
+    std::printf("  t=%2llu inbox selects message\n",
+                (unsigned long long)t);
+    t += p.jumpTable;
+    std::printf("  t=%2llu jump table done; speculative memory read "
+                "issued; PP handler starts\n",
+                (unsigned long long)t);
+    std::printf("  t=%2llu memory returns first 8 bytes (handler has "
+                "been hidden underneath)\n",
+                (unsigned long long)(t + p.memAccess));
+    std::printf("  t=%2llu first 8 bytes on processor bus (measured "
+                "total: %.0f; paper: 27)\n",
+                (unsigned long long)(t + p.memAccess + p.busArb +
+                                     p.busTransit),
+                pf.latency.localClean);
+    return 0;
+}

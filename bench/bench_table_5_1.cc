@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Reproduces Table 5.1 ("Impact of Speculative Memory Operations"):
+ * each workload runs with the jump table programmed normally and with
+ * all speculative memory operations disabled (the PP then initiates
+ * the memory access itself after reading the directory state). Reports
+ * the fraction of useless speculative reads and the execution-time
+ * increase without speculation, at 1 MB and at the paper's small cache
+ * size (4 KB; 16 KB for Ocean; the paper marks Barnes/LU/OS N/A).
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+using namespace flashsim;
+using namespace flashsim::bench;
+
+namespace
+{
+
+struct Row
+{
+    const char *app;
+    double paperUseless1M;
+    double paperSlow1M;
+    double paperUselessSmall; // <0: N/A
+    double paperSlowSmall;
+};
+
+const Row kRows[] = {
+    {"barnes", 54.0, 12.7, -1, -1}, {"fft", 43.5, 0.9, 5.9, 6.8},
+    {"lu", 33.5, 0.2, -1, -1},      {"mp3d", 67.8, 11.8, 37.7, 11.4},
+    {"ocean", 20.0, 2.2, 1.2, 21.0}, {"os", 21.9, 2.9, -1, -1},
+    {"radix", 59.9, 4.8, 18.0, 17.9},
+};
+
+struct SpecResult
+{
+    double uselessPct = 0;
+    double slowdownPct = 0;
+};
+
+SpecResult
+measure(const std::string &app, std::uint32_t cache_bytes)
+{
+    int procs = app == "os" ? 8 : 16;
+    MachineConfig with = MachineConfig::flash(procs, cache_bytes);
+    MachineConfig without = with;
+    without.magic.speculation = false;
+
+    RunOutcome on = runApp(with, app);
+    RunOutcome off = runApp(without, app);
+
+    SpecResult r;
+    r.uselessPct = 100.0 * on.summary.specUselessFrac;
+    r.slowdownPct =
+        100.0 * (static_cast<double>(off.summary.execTime) /
+                     static_cast<double>(on.summary.execTime) -
+                 1.0);
+    return r;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Table 5.1: impact of speculative memory operations\n\n");
+    std::printf("%-8s | %21s | %21s || %21s | %21s\n", "",
+                "useless w/ spec (1MB)", "slowdown w/o (1MB)",
+                "useless w/ spec (4KB)", "slowdown w/o (4KB)");
+    std::printf("%-8s | %10s %10s | %10s %10s || %10s %10s | %10s %10s\n",
+                "app", "paper", "meas", "paper", "meas", "paper", "meas",
+                "paper", "meas");
+
+    for (const Row &row : kRows) {
+        SpecResult big = measure(row.app, 1u << 20);
+        std::printf("%-8s | %9.1f%% %9.1f%% | %9.1f%% %9.1f%% ||",
+                    row.app, row.paperUseless1M, big.uselessPct,
+                    row.paperSlow1M, big.slowdownPct);
+        if (row.paperUselessSmall < 0) {
+            std::printf(" %10s %10s | %10s %10s\n", "N/A", "-", "N/A",
+                        "-");
+        } else {
+            std::uint32_t small =
+                std::string(row.app) == "ocean" ? 16384u : 4096u;
+            SpecResult sm = measure(row.app, small);
+            std::printf(" %9.1f%% %9.1f%% | %9.1f%% %9.1f%%\n",
+                        row.paperUselessSmall, sm.uselessPct,
+                        row.paperSlowSmall, sm.slowdownPct);
+        }
+    }
+    std::printf("\n(paper's finding: speculation is always beneficial — "
+                "the issue-early win outweighs useless reads loading "
+                "the memory system, and the benefit grows with small "
+                "caches where more misses are local)\n");
+    return 0;
+}

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Reproduces Table 5.3 and the Section 5.3 ablation.
+ *
+ * Table 5.3 compares each FLASH special instruction with its DLX
+ * substitution sequence (static size and latency); we measure both by
+ * compiling single-instruction functions through the ppc backend in
+ * baseline mode.
+ *
+ * The ablation recompiles the whole protocol without the ISA
+ * extensions and for single issue, then reruns the parallel suite
+ * (paper: average degradation 40%, maximum 137% for MP3D).
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "ppc/compiler.hh"
+
+using namespace flashsim;
+using namespace flashsim::bench;
+using namespace flashsim::ppc;
+
+namespace
+{
+
+/** Static instruction count of the expansion of one special op. */
+int
+expansionSize(ppisa::Op op, unsigned lo, unsigned width)
+{
+    IrFunction f("probe");
+    Reg d = f.reg();
+    Reg s = f.reg();
+    switch (op) {
+      case ppisa::Op::Ffs: f.ffs(d, s); break;
+      case ppisa::Op::Bbs: {
+        Label l = f.label();
+        f.bbs(s, lo, l);
+        f.bind(l);
+        break;
+      }
+      case ppisa::Op::Ext: f.ext(d, s, lo, width); break;
+      case ppisa::Op::Ins: f.ins(d, s, lo, width); break;
+      case ppisa::Op::Orfi: f.orfi(d, s, lo, width); break;
+      case ppisa::Op::Andfi: f.andfi(d, s, lo, width); break;
+      default: break;
+    }
+    f.halt();
+    LinearCode code = expandSpecials(LinearCode::fromFunction(f));
+    return static_cast<int>(code.instrs.size()) - 1; // minus halt
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Table 5.3: special instructions vs DLX substitution\n\n");
+    std::printf("%-22s %22s %28s\n", "instr type", "DLX static size",
+                "paper");
+    std::printf("%-22s %18d instrs %28s\n", "find first set bit",
+                expansionSize(ppisa::Op::Ffs, 0, 0),
+                "6 (size-opt) / 27 (speed-opt)");
+    std::printf("%-22s %18d instrs %28s\n", "branch on bit (low)",
+                expansionSize(ppisa::Op::Bbs, 3, 0), "2 or 4");
+    std::printf("%-22s %18d instrs %28s\n", "branch on bit (high)",
+                expansionSize(ppisa::Op::Bbs, 40, 0), "2 or 4");
+    std::printf("%-22s %18d instrs %28s\n", "field extract",
+                expansionSize(ppisa::Op::Ext, 16, 16), "(2 shifts)");
+    std::printf("%-22s %18d instrs %28s\n", "ALU field imm (small)",
+                expansionSize(ppisa::Op::Orfi, 0, 8), "1-5");
+    std::printf("%-22s %18d instrs %28s\n", "ALU field imm (large)",
+                expansionSize(ppisa::Op::Orfi, 32, 16), "1-5");
+    std::printf("%-22s %18d instrs %28s\n", "insert field",
+                expansionSize(ppisa::Op::Ins, 16, 16),
+                "two field imms + or");
+
+    // Code-size comparison of the full protocol.
+    protocol::HandlerPrograms opt = protocol::buildHandlerPrograms();
+    protocol::HandlerPrograms base =
+        protocol::buildHandlerPrograms({false, false});
+    std::printf("\nProtocol code: optimized %.1f KB, baseline (no "
+                "specials, single issue) %.1f KB\n\n",
+                opt.totalCodeBytes() / 1024.0,
+                base.totalCodeBytes() / 1024.0);
+
+    // Section 5.3 ablation: rerun the suite with the non-optimized PP.
+    std::printf("Section 5.3 ablation: parallel suite with the "
+                "non-optimized PP (no special instructions, single "
+                "issue)\n");
+    std::printf("%-8s %12s %12s %10s\n", "app", "optimized",
+                "baseline", "degrade");
+    double sum = 0, worst = 0;
+    std::string worst_app;
+    for (const std::string &app : apps::parallelAppNames()) {
+        RunOutcome o = runApp(MachineConfig::flash(16), app);
+        MachineConfig slow_cfg = MachineConfig::flash(16);
+        slow_cfg.ppCompile = CompileOptions{false, false};
+        slow_cfg.magic.optimizedPp = false;
+        RunOutcome s = runApp(slow_cfg, app);
+        double deg = 100.0 * (static_cast<double>(s.summary.execTime) /
+                                  static_cast<double>(
+                                      o.summary.execTime) -
+                              1.0);
+        sum += deg;
+        if (deg > worst) {
+            worst = deg;
+            worst_app = app;
+        }
+        std::printf("%-8s %12llu %12llu %9.1f%%\n", app.c_str(),
+                    static_cast<unsigned long long>(o.summary.execTime),
+                    static_cast<unsigned long long>(s.summary.execTime),
+                    deg);
+    }
+    std::printf("\naverage degradation %.1f%% (paper: 40%%), maximum "
+                "%.1f%% on %s (paper: 137%% on MP3D)\n",
+                sum / apps::parallelAppNames().size(), worst,
+                worst_app.c_str());
+    return 0;
+}

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Shared helpers for the evaluation benchmarks: running a workload on a
+ * machine configuration, printing Figure 4.1-style execution-time bars
+ * and Table 4.1-style statistics rows, and aggregating PP toolchain
+ * statistics (Table 5.2).
+ */
+
+#ifndef FLASHSIM_BENCH_BENCH_UTIL_HH_
+#define FLASHSIM_BENCH_BENCH_UTIL_HH_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "apps/workload.hh"
+#include "machine/report.hh"
+#include "machine/runner.hh"
+#include "ppisa/ppsim.hh"
+
+namespace flashsim::bench
+{
+
+using apps::Scale;
+using machine::Machine;
+using machine::MachineConfig;
+using machine::MissLatencies;
+using machine::Summary;
+
+/** A finished run plus its machine (kept for detailed inspection). */
+struct RunOutcome
+{
+    std::unique_ptr<Machine> machine;
+    Summary summary;
+};
+
+inline RunOutcome
+runApp(const MachineConfig &cfg, const std::string &app,
+       Scale scale = Scale::Default)
+{
+    auto w = apps::makeWorkload(app, scale);
+    RunOutcome out;
+    out.machine = apps::runWorkload(cfg, *w);
+    out.summary = machine::summarize(*out.machine);
+    return out;
+}
+
+/** FLASH/ideal pair for one workload. */
+struct Pair
+{
+    RunOutcome flash;
+    RunOutcome ideal;
+
+    double
+    slowdownPct() const
+    {
+        return 100.0 * (static_cast<double>(flash.summary.execTime) /
+                            static_cast<double>(ideal.summary.execTime) -
+                        1.0);
+    }
+};
+
+inline Pair
+runPair(const std::string &app, int procs, std::uint32_t cache_bytes,
+        Scale scale = Scale::Default)
+{
+    Pair p;
+    p.flash = runApp(MachineConfig::flash(procs, cache_bytes), app, scale);
+    p.ideal = runApp(MachineConfig::ideal(procs, cache_bytes), app, scale);
+    return p;
+}
+
+/** Figure 4.1-style paired bars, FLASH normalized to 100. */
+inline void
+printBars(const std::string &app, const Pair &p)
+{
+    double norm = static_cast<double>(p.flash.summary.execTime);
+    auto bar = [&](const char *label, const Summary &s) {
+        double h = 100.0 * static_cast<double>(s.execTime) / norm;
+        std::printf("  %-8s %-6s %6.1f |", app.c_str(), label, h);
+        std::printf(" busy %5.1f cont %4.1f read %5.1f write %4.1f sync "
+                    "%5.1f\n",
+                    h * s.busy, h * s.cont, h * s.read, h * s.write,
+                    h * s.sync);
+    };
+    bar("FLASH", p.flash.summary);
+    bar("ideal", p.ideal.summary);
+}
+
+/** Table 4.1-style statistics column for one workload. */
+inline void
+printTable41Row(const std::string &app, const Pair &p,
+                const MissLatencies &flash_lat,
+                const MissLatencies &ideal_lat)
+{
+    const Summary &s = p.flash.summary;
+    std::printf("%-8s miss %5.2f%% | LC %5.1f LDR %5.1f RC %5.1f RDH "
+                "%5.1f RDR %5.1f | CRMT F %3.0f I %3.0f | mem %4.1f%% "
+                "pp %4.1f%% | FLASH +%.1f%%\n",
+                app.c_str(), 100.0 * s.missRate,
+                100.0 * s.dist.localClean,
+                100.0 * s.dist.localDirtyRemote,
+                100.0 * s.dist.remoteClean,
+                100.0 * s.dist.remoteDirtyHome,
+                100.0 * s.dist.remoteDirtyRemote, flash_lat.crmt(s.dist),
+                ideal_lat.crmt(p.ideal.summary.dist),
+                100.0 * s.avgMemOcc, 100.0 * s.avgPpOcc,
+                p.slowdownPct());
+}
+
+/** Aggregate dynamic PP statistics over all nodes (Table 5.2). */
+inline ppisa::RunStats
+aggregatePpStats(const Machine &m)
+{
+    ppisa::RunStats total;
+    for (int i = 0; i < m.numProcs(); ++i) {
+        if (const magic::PpTimingModel *pm = m.node(i).magic().ppModel())
+            total.accumulate(pm->runStats());
+    }
+    return total;
+}
+
+} // namespace flashsim::bench
+
+#endif // FLASHSIM_BENCH_BENCH_UTIL_HH_

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Command-line driver: run any workload on any machine configuration
+ * and print the full report. The flags mirror the paper's experimental
+ * axes (machine type, processor count, cache size, page placement,
+ * speculation, PP toolchain, problem scale).
+ *
+ *   flashsim_cli --app fft --procs 16 --cache 64K --machine flash
+ *   flashsim_cli --app os --procs 8 --placement firstfit
+ *   flashsim_cli --app mp3d --no-spec --table-timing
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "apps/workload.hh"
+#include "machine/report.hh"
+
+using namespace flashsim;
+using namespace flashsim::machine;
+
+namespace
+{
+
+std::uint32_t
+parseSize(const char *s)
+{
+    char *end = nullptr;
+    double v = std::strtod(s, &end);
+    if (end && (*end == 'K' || *end == 'k'))
+        return static_cast<std::uint32_t>(v * 1024);
+    if (end && (*end == 'M' || *end == 'm'))
+        return static_cast<std::uint32_t>(v * 1024 * 1024);
+    return static_cast<std::uint32_t>(v);
+}
+
+void
+usage()
+{
+    std::printf(
+        "usage: flashsim_cli [options]\n"
+        "  --app NAME        fft|lu|ocean|radix|barnes|mp3d|os "
+        "(default fft)\n"
+        "  --machine M       flash|ideal (default flash)\n"
+        "  --procs N         processor count (default 16; os wants 8)\n"
+        "  --cache SIZE      e.g. 1M, 64K, 4096 (default 1M)\n"
+        "  --placement P     rr|firstfit|node0 (default rr)\n"
+        "  --paper           paper problem sizes (Table 3.5)\n"
+        "  --no-spec         disable speculative memory operations\n"
+        "  --table-timing    Table 3.4 constants instead of PPsim\n"
+        "  --baseline-pp     no ISA extensions, single issue (S5.3)\n"
+        "  --distance-net    per-pair mesh distances instead of the\n"
+        "                    22-cycle average\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string app = "fft";
+    MachineConfig cfg = MachineConfig::flash(16);
+    bool ideal = false;
+    apps::Scale scale = apps::Scale::Default;
+
+    for (int i = 1; i < argc; ++i) {
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                usage();
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        if (!std::strcmp(argv[i], "--help")) {
+            usage();
+            return 0;
+        } else if (!std::strcmp(argv[i], "--app")) {
+            app = next();
+        } else if (!std::strcmp(argv[i], "--machine")) {
+            ideal = std::string(next()) == "ideal";
+        } else if (!std::strcmp(argv[i], "--procs")) {
+            cfg.numProcs = std::atoi(next());
+        } else if (!std::strcmp(argv[i], "--cache")) {
+            cfg.cache.sizeBytes = parseSize(next());
+        } else if (!std::strcmp(argv[i], "--placement")) {
+            std::string p = next();
+            cfg.placement = p == "firstfit" ? Placement::FirstFit
+                            : p == "node0" ? Placement::Node0
+                                           : Placement::RoundRobinPages;
+        } else if (!std::strcmp(argv[i], "--paper")) {
+            scale = apps::Scale::Paper;
+        } else if (!std::strcmp(argv[i], "--no-spec")) {
+            cfg.magic.speculation = false;
+        } else if (!std::strcmp(argv[i], "--table-timing")) {
+            cfg.magic.usePpEmulator = false;
+        } else if (!std::strcmp(argv[i], "--baseline-pp")) {
+            cfg.ppCompile = ppc::CompileOptions{false, false};
+            cfg.magic.optimizedPp = false;
+        } else if (!std::strcmp(argv[i], "--distance-net")) {
+            cfg.net.distanceBased = true;
+        } else {
+            usage();
+            return 1;
+        }
+    }
+    if (ideal) {
+        cfg.magic.ideal = true;
+        cfg.magic.usePpEmulator = false;
+    }
+
+    auto w = apps::makeWorkload(app, scale);
+    std::printf("running %s on %s, %d procs, %u KB caches...\n",
+                app.c_str(), ideal ? "ideal" : "FLASH", cfg.numProcs,
+                cfg.cache.sizeBytes / 1024);
+    auto m = apps::runWorkload(cfg, *w);
+    Summary s = summarize(*m);
+
+    std::printf("\nexecution time: %llu cycles (%.2f ms at 100 MHz)\n",
+                static_cast<unsigned long long>(s.execTime),
+                static_cast<double>(s.execTime) / 100000.0);
+    std::printf("breakdown: busy %.1f%%  cont %.1f%%  read %.1f%%  "
+                "write %.1f%%  sync %.1f%%\n", 100 * s.busy,
+                100 * s.cont, 100 * s.read, 100 * s.write, 100 * s.sync);
+    std::printf("miss rate: %.2f%%  (reads %llu, writes %llu, misses "
+                "%llu)\n", 100 * s.missRate,
+                static_cast<unsigned long long>(s.cacheReads),
+                static_cast<unsigned long long>(s.cacheWrites),
+                static_cast<unsigned long long>(s.readMisses +
+                                                s.writeMisses));
+    std::printf("read-miss mix: LC %.1f%%  LDR %.1f%%  RC %.1f%%  RDH "
+                "%.1f%%  RDR %.1f%%\n", 100 * s.dist.localClean,
+                100 * s.dist.localDirtyRemote, 100 * s.dist.remoteClean,
+                100 * s.dist.remoteDirtyHome,
+                100 * s.dist.remoteDirtyRemote);
+    std::printf("occupancy: memory %.1f%% avg / %.1f%% max,  PP %.1f%% "
+                "avg / %.1f%% max\n", 100 * s.avgMemOcc,
+                100 * s.maxMemOcc, 100 * s.avgPpOcc, 100 * s.maxPpOcc);
+    std::printf("protocol: %llu handler invocations (%.2f per miss), "
+                "%llu NACKs, %.1f%% useless speculative reads\n",
+                static_cast<unsigned long long>(s.handlerInvocations),
+                s.handlersPerMiss,
+                static_cast<unsigned long long>(s.nacksSent),
+                100 * s.specUselessFrac);
+    if (s.mdcMissRate > 0)
+        std::printf("MDC: %.2f%% miss rate (%.2f%% reads)\n",
+                    100 * s.mdcMissRate, 100 * s.mdcReadMissRate);
+    return 0;
+}

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Workload lab: write your own workload against the public API.
+ *
+ * Demonstrates the Tango-style coroutine interface with a producer/
+ * consumer pipeline (locks, barriers, and a migratory shared queue),
+ * then sweeps it across cache sizes on FLASH and the ideal machine —
+ * the same experiment structure the paper uses, applied to a new
+ * program. Run with --help for options.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "machine/machine.hh"
+#include "machine/report.hh"
+
+using namespace flashsim;
+using namespace flashsim::machine;
+
+namespace
+{
+
+/** Shared state for the pipeline workload. */
+struct PipelineState
+{
+    Addr queueBase = 0;  ///< ring of queue slots (one line each)
+    int slots = 32;
+    tango::LockVar lock;
+    tango::BarrierVar bar;
+    int head = 0; ///< host-side ring state
+    int tail = 0;
+    int produced = 0;
+    int consumed = 0;
+    int items = 512;
+};
+
+/** Even processors produce, odd processors consume. */
+tango::Task
+pipeline(tango::Env &env, std::shared_ptr<PipelineState> st)
+{
+    co_await env.busy(0);
+    const bool producer = env.id() % 2 == 0;
+
+    while (true) {
+        // Work on private data between queue operations.
+        co_await env.busy(400);
+
+        co_await env.lockAcquire(st->lock);
+        bool done = st->produced >= st->items &&
+                    st->consumed >= st->items;
+        bool can_produce =
+            producer && st->produced < st->items &&
+            (st->head + 1) % st->slots != st->tail;
+        bool can_consume =
+            !producer && st->consumed < st->produced &&
+            st->tail != st->head;
+        int slot = -1;
+        if (can_produce) {
+            slot = st->head;
+            st->head = (st->head + 1) % st->slots;
+            ++st->produced;
+        } else if (can_consume) {
+            slot = st->tail;
+            st->tail = (st->tail + 1) % st->slots;
+            ++st->consumed;
+        }
+        co_await env.lockRelease(st->lock);
+
+        if (slot >= 0) {
+            // Touch the queue slot: the line migrates from producer to
+            // consumer caches (dirty remote misses, like MP3D's cells).
+            Addr a = st->queueBase + static_cast<Addr>(slot) * kLineSize;
+            co_await env.read(a);
+            co_await env.busy(120);
+            co_await env.write(a);
+        }
+        if (done)
+            break;
+    }
+    co_await env.barrier(st->bar);
+}
+
+Summary
+runPipeline(const MachineConfig &cfg)
+{
+    Machine m(cfg);
+    auto st = std::make_shared<PipelineState>();
+    st->queueBase =
+        m.allocAuto(static_cast<Addr>(st->slots) * kLineSize);
+    st->lock = m.makeLock(0);
+    st->bar = m.makeBarrier();
+    m.run([st](tango::Env &env) { return pipeline(env, st); });
+    m.drain();
+    return summarize(m);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    int procs = 8;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--help") == 0) {
+            std::printf("usage: workload_lab [--procs N]\n");
+            return 0;
+        }
+        if (std::strcmp(argv[i], "--procs") == 0 && i + 1 < argc)
+            procs = std::atoi(argv[++i]);
+    }
+
+    std::printf("Workload lab: producer/consumer pipeline on %d "
+                "processors\n\n", procs);
+    std::printf("%-10s %-7s %10s %8s %8s %8s %8s\n", "cache", "machine",
+                "cycles", "miss%", "sync%", "ppOcc%", "FLASH+%");
+
+    for (std::uint32_t cache : {1u << 20, 64u * 1024u, 4096u}) {
+        MachineConfig f = MachineConfig::flash(procs, cache);
+        MachineConfig i = MachineConfig::ideal(procs, cache);
+        Summary sf = runPipeline(f);
+        Summary si = runPipeline(i);
+        double slow = 100.0 * (static_cast<double>(sf.execTime) /
+                                   static_cast<double>(si.execTime) -
+                               1.0);
+        char label[32];
+        std::snprintf(label, sizeof label, "%u KB", cache / 1024);
+        std::printf("%-10s %-7s %10llu %7.2f%% %7.1f%% %7.1f%% %7.1f%%\n",
+                    label, "FLASH",
+                    static_cast<unsigned long long>(sf.execTime),
+                    100.0 * sf.missRate, 100.0 * sf.sync,
+                    100.0 * sf.avgPpOcc, slow);
+        std::printf("%-10s %-7s %10llu %7.2f%% %7.1f%% %7.1f%%\n", "",
+                    "ideal",
+                    static_cast<unsigned long long>(si.execTime),
+                    100.0 * si.missRate, 100.0 * si.sync,
+                    100.0 * si.avgPpOcc);
+    }
+
+    std::printf("\nThe lock line and queue slots migrate between "
+                "producers and consumers; watch the flexibility cost "
+                "rise as the cache shrinks and the traffic mix shifts "
+                "toward the protocol processor.\n");
+    return 0;
+}

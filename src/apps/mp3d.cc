@@ -1,0 +1,75 @@
+#include "apps/mp3d.hh"
+
+namespace flashsim::apps
+{
+
+namespace
+{
+constexpr Addr kParticleBytes = 32; ///< position, velocity, flags
+constexpr Addr kCellBytes = 64;     ///< counters, collision partners
+} // namespace
+
+void
+Mp3d::setup(machine::Machine &m)
+{
+    nprocs_ = m.numProcs();
+    perProc_ = p_.particles / nprocs_;
+
+    for (int p = 0; p < nprocs_; ++p) {
+        Addr base = m.alloc(static_cast<Addr>(perProc_) * kParticleBytes,
+                            static_cast<NodeId>(p));
+        for (int i = 0; i < perProc_; ++i)
+            particleAddr_.push_back(base +
+                                    static_cast<Addr>(i) * kParticleBytes);
+    }
+    // Space cells, striped across node memories page by page.
+    Addr cells_base =
+        m.allocAuto(static_cast<Addr>(p_.cells) * kCellBytes);
+    for (int c = 0; c < p_.cells; ++c)
+        cellAddr_.push_back(cells_base + static_cast<Addr>(c) * kCellBytes);
+
+    Rng rng(p_.seed);
+    particleCell_.resize(
+        static_cast<std::size_t>(nprocs_) * perProc_);
+    for (auto &c : particleCell_)
+        c = static_cast<std::uint32_t>(
+            rng.below(static_cast<std::uint64_t>(p_.cells)));
+    bar_ = m.makeBarrier();
+}
+
+tango::Task
+Mp3d::run(tango::Env &env)
+{
+    co_await env.busy(0);
+    const int me = env.id();
+    Rng rng(p_.seed + static_cast<std::uint64_t>(me) * 7 + 1);
+
+    for (int step = 0; step < p_.steps; ++step) {
+        for (int i = 0; i < perProc_; ++i) {
+            std::size_t body =
+                static_cast<std::size_t>(me) *
+                    static_cast<std::size_t>(perProc_) +
+                static_cast<std::size_t>(i);
+            // Move the particle: read/update its record (local block).
+            co_await env.read(particleAddr_[body]);
+            co_await env.busy(p_.instrsPerMove);
+            co_await env.write(particleAddr_[body]);
+
+            // Drift to a nearby cell and update the shared space cell:
+            // read-modify-write on a line almost certainly dirty in the
+            // cache of whichever processor last moved a particle there.
+            std::uint32_t cell = particleCell_[body];
+            std::uint32_t next =
+                (cell + 1 +
+                 static_cast<std::uint32_t>(rng.below(31))) %
+                static_cast<std::uint32_t>(p_.cells);
+            particleCell_[body] = next;
+            co_await env.read(cellAddr_[next]);
+            co_await env.busy(40);
+            co_await env.write(cellAddr_[next]);
+        }
+        co_await env.barrier(bar_);
+    }
+}
+
+} // namespace flashsim::apps

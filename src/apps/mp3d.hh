@@ -1,0 +1,63 @@
+/**
+ * @file
+ * MP3D: rarefied-fluid-flow particle simulation (Table 3.5: 50,000
+ * particles) — the paper's communication stress test.
+ *
+ * Particles are statically partitioned across processors; the space
+ * cells they move through are shared and updated by whoever moves a
+ * particle into them, producing intense migratory write sharing: most
+ * misses find the line dirty in another processor's cache (Table 4.1:
+ * 84% remote dirty remote, 6% miss rate), and both FLASH and the ideal
+ * machine spend most of their time in the memory system.
+ */
+
+#ifndef FLASHSIM_APPS_MP3D_HH_
+#define FLASHSIM_APPS_MP3D_HH_
+
+#include <cstdint>
+
+#include "apps/workload.hh"
+#include "sim/random.hh"
+
+namespace flashsim::apps
+{
+
+struct Mp3dParams
+{
+    int particles = 20000; ///< paper: 50000
+    int steps = 6;
+    int cells = 4096;      ///< space array cells
+    std::uint64_t seed = 31;
+    std::uint64_t instrsPerMove = 120;
+
+    static Mp3dParams
+    paper()
+    {
+        Mp3dParams p;
+        p.particles = 50000;
+        return p;
+    }
+};
+
+class Mp3d : public Workload
+{
+  public:
+    explicit Mp3d(Mp3dParams params = {}) : p_(params) {}
+
+    std::string name() const override { return "mp3d"; }
+    void setup(machine::Machine &m) override;
+    tango::Task run(tango::Env &env) override;
+
+  private:
+    Mp3dParams p_;
+    int nprocs_ = 0;
+    int perProc_ = 0;
+    std::vector<Addr> particleAddr_;
+    std::vector<Addr> cellAddr_;
+    std::vector<std::uint32_t> particleCell_; ///< host positions
+    tango::BarrierVar bar_;
+};
+
+} // namespace flashsim::apps
+
+#endif // FLASHSIM_APPS_MP3D_HH_

@@ -1,0 +1,134 @@
+#include "apps/radix.hh"
+
+#include "sim/logging.hh"
+
+namespace flashsim::apps
+{
+
+namespace
+{
+constexpr Addr kKeyBytes = 4;
+constexpr Addr kHistEntryBytes = 4;
+} // namespace
+
+void
+Radix::setup(machine::Machine &m)
+{
+    nprocs_ = m.numProcs();
+    keysPerProc_ = p_.keys / static_cast<std::uint32_t>(nprocs_);
+    if (keysPerProc_ == 0)
+        fatal("Radix: fewer keys than processors");
+
+    const Addr block_bytes = static_cast<Addr>(keysPerProc_) * kKeyBytes;
+    const Addr hist_bytes = static_cast<Addr>(p_.radix) * kHistEntryBytes;
+    for (int p = 0; p < nprocs_; ++p) {
+        aBase_.push_back(m.alloc(block_bytes, static_cast<NodeId>(p)));
+        bBase_.push_back(m.alloc(block_bytes, static_cast<NodeId>(p)));
+        histBase_.push_back(m.alloc(hist_bytes, static_cast<NodeId>(p)));
+    }
+    bar_ = m.makeBarrier();
+
+    keysA_.resize(p_.keys);
+    keysB_.resize(p_.keys);
+    Rng rng(p_.seed);
+    for (std::uint32_t &k : keysA_)
+        k = static_cast<std::uint32_t>(rng.next());
+    hist_.assign(static_cast<std::size_t>(nprocs_),
+                 std::vector<std::uint32_t>(
+                     static_cast<std::size_t>(p_.radix), 0));
+    rankBase_ = hist_;
+}
+
+Addr
+Radix::keyAddr(const std::vector<Addr> &bases, std::uint32_t idx) const
+{
+    std::uint32_t proc = idx / keysPerProc_;
+    std::uint32_t local = idx % keysPerProc_;
+    return bases[proc] + static_cast<Addr>(local) * kKeyBytes;
+}
+
+tango::Task
+Radix::run(tango::Env &env)
+{
+    co_await env.busy(0);
+    const int me = env.id();
+    const std::uint32_t i0 =
+        static_cast<std::uint32_t>(me) * keysPerProc_;
+    const std::uint32_t digits =
+        static_cast<std::uint32_t>(p_.radix) - 1;
+    int shift_bits = 0;
+    for (int r = p_.radix; r > 1; r >>= 1)
+        ++shift_bits;
+
+    for (int pass = 0; pass < p_.passes; ++pass) {
+        std::vector<std::uint32_t> &src =
+            (pass & 1) ? keysB_ : keysA_;
+        std::vector<std::uint32_t> &dst =
+            (pass & 1) ? keysA_ : keysB_;
+        const std::vector<Addr> &src_base = (pass & 1) ? bBase_ : aBase_;
+        const std::vector<Addr> &dst_base = (pass & 1) ? aBase_ : bBase_;
+        const int shift = pass * shift_bits;
+
+        // Phase 1: local histogram. The source block is local memory,
+        // but after the first pass its lines are dirty in the caches of
+        // whichever processors wrote them during the permutation — the
+        // "local, dirty remote" misses of Table 4.1.
+        auto &h = hist_[static_cast<std::size_t>(me)];
+        std::fill(h.begin(), h.end(), 0);
+        const Addr my_hist = histBase_[static_cast<std::size_t>(me)];
+        for (Addr off = 0;
+             off < static_cast<Addr>(p_.radix) * kHistEntryBytes;
+             off += kLineSize)
+            co_await env.write(my_hist + off);
+        for (std::uint32_t i = 0; i < keysPerProc_; ++i) {
+            co_await env.read(keyAddr(src_base, i0 + i));
+            std::uint32_t d = (src[i0 + i] >> shift) & digits;
+            ++h[d];
+            co_await env.write(my_hist +
+                               static_cast<Addr>(d) * kHistEntryBytes);
+            co_await env.busy(p_.instrsPerKey);
+        }
+        co_await env.barrier(bar_);
+
+        // Phase 2: global rank computation — read every processor's
+        // histogram (remote clean traffic) and prefix-sum on the host.
+        for (int p = 0; p < nprocs_; ++p) {
+            for (Addr off = 0;
+                 off < static_cast<Addr>(p_.radix) * kHistEntryBytes;
+                 off += kLineSize) {
+                co_await env.read(
+                    histBase_[static_cast<std::size_t>(p)] + off);
+                co_await env.busy(16);
+            }
+        }
+        auto &rank = rankBase_[static_cast<std::size_t>(me)];
+        for (std::uint32_t d = 0, run = 0;
+             d < static_cast<std::uint32_t>(p_.radix); ++d) {
+            std::uint32_t before_me = 0;
+            std::uint32_t total = 0;
+            for (int p = 0; p < nprocs_; ++p) {
+                if (p < me)
+                    before_me += hist_[static_cast<std::size_t>(p)][d];
+                total += hist_[static_cast<std::size_t>(p)][d];
+            }
+            rank[d] = run + before_me;
+            run += total;
+        }
+        co_await env.barrier(bar_);
+
+        // Phase 3: permutation — scatter local keys to their global
+        // rank positions in the destination buffer (remote writes).
+        for (std::uint32_t i = 0; i < keysPerProc_; ++i) {
+            co_await env.read(keyAddr(src_base, i0 + i));
+            std::uint32_t key = src[i0 + i];
+            std::uint32_t d = (key >> shift) & digits;
+            std::uint32_t dest = rank[d]++;
+            dst[dest] = key;
+            co_await env.write(keyAddr(dst_base, dest));
+            co_await env.busy(p_.instrsPerKey);
+        }
+        co_await env.barrier(bar_);
+    }
+}
+
+} // namespace flashsim::apps

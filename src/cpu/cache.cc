@@ -1,0 +1,334 @@
+#include "cpu/cache.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace flashsim::cpu
+{
+
+using protocol::Message;
+using protocol::MsgType;
+
+Cache::Cache(EventQueue &eq, NodeId self, const CacheParams &params,
+             magic::Magic &magic)
+    : eq_(eq), self_(self), p_(params), magic_(magic)
+{
+    numSets_ = p_.sizeBytes / (p_.assoc * p_.lineBytes);
+    if (numSets_ == 0 || (numSets_ & (numSets_ - 1)) != 0)
+        fatal("Cache: set count %u must be a nonzero power of two",
+              numSets_);
+    ways_.resize(static_cast<std::size_t>(numSets_) * p_.assoc);
+    mshrs_.resize(static_cast<std::size_t>(p_.mshrs));
+}
+
+std::uint32_t
+Cache::setIndex(Addr addr) const
+{
+    return static_cast<std::uint32_t>(addr / p_.lineBytes) &
+           (numSets_ - 1);
+}
+
+Cache::Way *
+Cache::findWay(Addr addr)
+{
+    Addr tag = addr / p_.lineBytes / numSets_;
+    Way *base = &ways_[static_cast<std::size_t>(setIndex(addr)) * p_.assoc];
+    for (std::uint32_t w = 0; w < p_.assoc; ++w) {
+        if (base[w].state != State::Invalid && base[w].tag == tag)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+const Cache::Way *
+Cache::findWay(Addr addr) const
+{
+    return const_cast<Cache *>(this)->findWay(addr);
+}
+
+Cache::Mshr *
+Cache::findMshr(Addr line)
+{
+    for (Mshr &m : mshrs_)
+        if (m.valid && m.line == line)
+            return &m;
+    return nullptr;
+}
+
+Cache::Mshr *
+Cache::allocMshr()
+{
+    for (Mshr &m : mshrs_)
+        if (!m.valid)
+            return &m;
+    return nullptr;
+}
+
+void
+Cache::sendRequest(MsgType t, Addr line, bool retry)
+{
+    Message m;
+    m.type = t;
+    m.src = self_;
+    m.dest = self_;
+    m.requester = self_;
+    m.addr = line;
+    const magic::MagicParams &mp = magic_.params();
+    // Retries skip miss detection; first issues pay detect + bus transit.
+    Cycles delay = retry ? 0 : mp.missDetect + mp.busTransit;
+    eq_.schedule(delay, [this, m] { magic_.fromProcessor(m); });
+}
+
+Cache::ReadOutcome
+Cache::read(Addr addr, Callback on_fill)
+{
+    ++reads;
+    Addr line = lineBase(addr);
+    if (Way *w = findWay(addr)) {
+        w->lru = ++lruClock_;
+        return ReadOutcome::Hit;
+    }
+    ++readMisses;
+    if (Mshr *m = findMshr(line)) {
+        // Merge into the outstanding miss; the read blocks until fill.
+        m->readWaiters.push_back(std::move(on_fill));
+        return ReadOutcome::Miss;
+    }
+    Mshr *m = allocMshr();
+    if (m == nullptr) {
+        --readMisses; // counted on the successful retry instead
+        --reads;
+        return ReadOutcome::MshrFull;
+    }
+    m->valid = true;
+    m->line = line;
+    m->sentType = MsgType::PiGet;
+    m->needsUpgrade = false;
+    m->invalOnFill = false;
+    m->nackCount = 0;
+    m->issued = eq_.now();
+    m->readWaiters.clear();
+    m->readWaiters.push_back(std::move(on_fill));
+    sendRequest(MsgType::PiGet, line, false);
+    return ReadOutcome::Miss;
+}
+
+Cache::WriteOutcome
+Cache::write(Addr addr)
+{
+    ++writes;
+    Addr line = lineBase(addr);
+    Way *w = findWay(addr);
+    if (w != nullptr && w->state == State::Exclusive) {
+        w->lru = ++lruClock_;
+        return WriteOutcome::Done;
+    }
+    ++writeMisses;
+    if (Mshr *m = findMshr(line)) {
+        // Same index, same tag: merge with the outstanding miss.
+        if (m->sentType == MsgType::PiGet)
+            m->needsUpgrade = true;
+        return WriteOutcome::Queued;
+    }
+    // Same index, different tag, with a miss outstanding: stall.
+    std::uint32_t set = setIndex(addr);
+    for (const Mshr &m : mshrs_) {
+        if (m.valid && setIndex(m.line) == set && m.line != line) {
+            --writes;
+            --writeMisses;
+            return WriteOutcome::Conflict;
+        }
+    }
+    Mshr *m = allocMshr();
+    if (m == nullptr) {
+        --writes;
+        --writeMisses;
+        return WriteOutcome::MshrFull;
+    }
+    m->valid = true;
+    m->line = line;
+    m->sentType = MsgType::PiGetx;
+    m->needsUpgrade = false;
+    m->invalOnFill = false;
+    m->nackCount = 0;
+    m->issued = eq_.now();
+    m->readWaiters.clear();
+    sendRequest(MsgType::PiGetx, line, false);
+    return WriteOutcome::Queued;
+}
+
+void
+Cache::onMshrFree(Callback cb)
+{
+    mshrFreeWaiters_.push_back(std::move(cb));
+}
+
+void
+Cache::installLine(Addr line, State st)
+{
+    // An upgrade fill (or a refetch racing an invalidation) may find the
+    // line already resident: promote in place, never duplicate the tag.
+    if (Way *w = findWay(line)) {
+        w->state = st == State::Exclusive ? State::Exclusive : w->state;
+        w->lru = ++lruClock_;
+        return;
+    }
+    Addr tag = line / p_.lineBytes / numSets_;
+    Way *base = &ways_[static_cast<std::size_t>(setIndex(line)) * p_.assoc];
+    Way *victim = nullptr;
+    for (std::uint32_t w = 0; w < p_.assoc; ++w) {
+        if (base[w].state == State::Invalid) {
+            victim = &base[w];
+            break;
+        }
+        if (victim == nullptr || base[w].lru < victim->lru)
+            victim = &base[w];
+    }
+    if (victim->state == State::Exclusive) {
+        ++writebacks;
+        Addr victim_line = victim->tag * numSets_ * p_.lineBytes +
+                           static_cast<Addr>(setIndex(line)) * p_.lineBytes;
+        sendRequest(MsgType::PiWriteback, victim_line, true);
+    } else if (victim->state == State::Shared) {
+        ++replaceHints;
+        Addr victim_line = victim->tag * numSets_ * p_.lineBytes +
+                           static_cast<Addr>(setIndex(line)) * p_.lineBytes;
+        sendRequest(MsgType::PiReplaceHint, victim_line, true);
+    }
+    victim->state = st;
+    victim->tag = tag;
+    victim->lru = ++lruClock_;
+}
+
+void
+Cache::completeMshr(Mshr &m)
+{
+    std::vector<Callback> waiters = std::move(m.readWaiters);
+    m.valid = false;
+    m.readWaiters.clear();
+    // Wake the processor retry hook first so a stalled access can claim
+    // the freed MSHR, then release the blocked readers.
+    std::vector<Callback> hooks = std::move(mshrFreeWaiters_);
+    mshrFreeWaiters_.clear();
+    for (Callback &cb : hooks)
+        cb();
+    for (Callback &cb : waiters)
+        cb();
+}
+
+void
+Cache::fill(const Message &msg)
+{
+    Addr line = lineBase(msg.addr);
+    Mshr *m = findMshr(line);
+    if (m == nullptr)
+        panic("Cache %u: fill for line 0x%llx without MSHR", self_,
+              static_cast<unsigned long long>(line));
+    missLatency.sample(static_cast<double>(eq_.now() - m->issued));
+
+    State st =
+        msg.type == MsgType::PiPutx ? State::Exclusive : State::Shared;
+    installLine(line, st);
+
+    if (m->invalOnFill && st == State::Shared) {
+        // A racing invalidation already hit this line: the blocked read
+        // consumes the critical word, but the copy must not persist.
+        if (Way *w = findWay(line))
+            w->state = State::Invalid;
+    }
+
+    if (m->needsUpgrade && st == State::Shared) {
+        // A write merged into this read miss: chase the fill with an
+        // upgrade. The MSHR stays live for the GETX; readers proceed.
+        m->sentType = MsgType::PiGetx;
+        m->needsUpgrade = false;
+        m->invalOnFill = false;
+        m->nackCount = 0;
+        m->issued = eq_.now();
+        sendRequest(MsgType::PiGetx, line, true);
+        std::vector<Callback> waiters = std::move(m->readWaiters);
+        m->readWaiters.clear();
+        for (Callback &cb : waiters)
+            cb();
+        return;
+    }
+    completeMshr(*m);
+}
+
+void
+Cache::deliver(const Message &msg)
+{
+    switch (msg.type) {
+      case MsgType::PiPut:
+      case MsgType::PiPutx:
+        fill(msg);
+        break;
+      case MsgType::NetNack: {
+        Addr line = lineBase(msg.addr);
+        Mshr *m = findMshr(line);
+        if (m == nullptr)
+            break; // request already satisfied (stale NACK)
+        ++nackRetries;
+        MsgType t = m->sentType;
+        // Exponential backoff with a per-node offset: hot lines (locks,
+        // barrier counters) otherwise produce NACK storms where the
+        // line ownership keeps moving before any retry can catch it.
+        std::uint32_t shift = std::min(m->nackCount, 5u);
+        ++m->nackCount;
+        Cycles wait = (magic_.params().nackRetryBackoff << shift) +
+                      (self_ * 7) % 29;
+        eq_.schedule(wait,
+                     [this, t, line] { sendRequest(t, line, true); });
+        break;
+      }
+      default:
+        panic("Cache %u: unexpected delivery %s", self_,
+              msg.toString().c_str());
+    }
+}
+
+bool
+Cache::holdsDirty(Addr addr) const
+{
+    const Way *w = findWay(addr);
+    return w != nullptr && w->state == State::Exclusive;
+}
+
+void
+Cache::invalidate(Addr addr)
+{
+    ++invalsReceived;
+    if (Way *w = findWay(addr))
+        w->state = State::Invalid;
+    // The invalidation may have raced ahead of a read reply in flight
+    // to this node (replies wait for memory data, invals do not).
+    if (Mshr *m = findMshr(lineBase(addr))) {
+        if (m->sentType == protocol::MsgType::PiGet)
+            m->invalOnFill = true;
+    }
+}
+
+void
+Cache::downgrade(Addr addr)
+{
+    if (Way *w = findWay(addr)) {
+        if (w->state == State::Exclusive)
+            w->state = State::Shared;
+    }
+}
+
+void
+Cache::busyUntil(Tick until)
+{
+    busyUntil_ = std::max(busyUntil_, until);
+}
+
+Cache::State
+Cache::state(Addr addr) const
+{
+    const Way *w = findWay(addr);
+    return w != nullptr ? w->state : State::Invalid;
+}
+
+} // namespace flashsim::cpu

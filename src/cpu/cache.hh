@@ -1,0 +1,157 @@
+/**
+ * @file
+ * The compute processor's secondary cache.
+ *
+ * Two-way set associative, 128-byte lines, up to 4 outstanding misses,
+ * critical-word-first fills (Section 3.2). Reads are blocking; writes
+ * are non-blocking and merge into an outstanding miss to the same line,
+ * stalling only on an index conflict or when the MSHRs are exhausted.
+ *
+ * The processor implements its own cache control, so MAGIC reaches in
+ * through explicit operations (invalidate / downgrade / retrieve) that
+ * occupy the cache and contend with the processor ("Cont" time).
+ */
+
+#ifndef FLASHSIM_CPU_CACHE_HH_
+#define FLASHSIM_CPU_CACHE_HH_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "magic/magic.hh"
+#include "protocol/message.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace flashsim::cpu
+{
+
+struct CacheParams
+{
+    std::uint32_t sizeBytes = 1u << 20; ///< 1 MB default
+    std::uint32_t assoc = 2;
+    std::uint32_t lineBytes = 128;
+    int mshrs = 4; ///< outstanding misses
+};
+
+class Cache
+{
+  public:
+    using Callback = std::function<void()>;
+
+    enum class State : std::uint8_t { Invalid, Shared, Exclusive };
+
+    enum class ReadOutcome { Hit, Miss, MshrFull };
+    enum class WriteOutcome { Done, Queued, MshrFull, Conflict };
+
+    Cache(EventQueue &eq, NodeId self, const CacheParams &params,
+          magic::Magic &magic);
+
+    // -- Processor side (call at the processor's current time) -------------
+    /** Earliest time the processor can use the cache (MAGIC ops). */
+    Tick freeAt() const { return busyUntil_; }
+
+    /**
+     * Read access. Hit: complete. Miss: @p on_fill fires when the first
+     * 8 bytes arrive. MshrFull: retry after onMshrFree.
+     */
+    ReadOutcome read(Addr addr, Callback on_fill);
+
+    /**
+     * Write access. Done: line exclusive, proceed. Queued: request or
+     * merge launched, proceed (non-blocking write). Conflict/MshrFull:
+     * the processor must stall; retry after onMshrFree.
+     */
+    WriteOutcome write(Addr addr);
+
+    /** One-shot callback the next time any MSHR completes. */
+    void onMshrFree(Callback cb);
+
+    // -- MAGIC side ----------------------------------------------------------
+    /** Deliver a PiPut / PiPutx / NetNack from MAGIC. */
+    void deliver(const protocol::Message &msg);
+    bool holdsDirty(Addr addr) const;
+    void invalidate(Addr addr);
+    void downgrade(Addr addr);
+    /** A MAGIC-directed operation occupies the cache until @p until. */
+    void busyUntil(Tick until);
+
+    State state(Addr addr) const;
+
+    // -- Statistics -----------------------------------------------------------
+    Counter reads = 0;
+    Counter writes = 0;
+    /** References implied by compute time (busy instructions include
+     *  loads/stores that hit in the primary cache and are not simulated
+     *  individually); they enter the miss-rate denominator like the
+     *  paper's full reference stream does. */
+    Counter backgroundHits = 0;
+    Counter readMisses = 0;
+    Counter writeMisses = 0; ///< including upgrades
+    Counter writebacks = 0;
+    Counter replaceHints = 0;
+    Counter invalsReceived = 0;
+    Counter nackRetries = 0;
+    Distribution missLatency; ///< read-miss service time (cycles)
+
+    double
+    missRate() const
+    {
+        return ratio(static_cast<double>(readMisses + writeMisses),
+                     static_cast<double>(reads + writes +
+                                         backgroundHits));
+    }
+
+  private:
+    struct Way
+    {
+        State state = State::Invalid;
+        Addr tag = 0;
+        std::uint64_t lru = 0;
+    };
+
+    struct Mshr
+    {
+        bool valid = false;
+        Addr line = 0; ///< line base address
+        protocol::MsgType sentType = protocol::MsgType::PiGet;
+        bool needsUpgrade = false; ///< read fill must be followed by GETX
+        /** An invalidation raced ahead of our read reply (it is not
+         *  gated on memory data, the reply is): the fill satisfies the
+         *  blocked read with its critical word but the line must not
+         *  stay resident. */
+        bool invalOnFill = false;
+        /** Consecutive NACKs for this miss (exponential backoff). */
+        std::uint32_t nackCount = 0;
+        Tick issued = 0;
+        std::vector<Callback> readWaiters;
+    };
+
+    Way *findWay(Addr addr);
+    const Way *findWay(Addr addr) const;
+    Mshr *findMshr(Addr line);
+    Mshr *allocMshr();
+    std::uint32_t setIndex(Addr addr) const;
+    void sendRequest(protocol::MsgType t, Addr line, bool retry);
+    void fill(const protocol::Message &msg);
+    void installLine(Addr line, State st);
+    void completeMshr(Mshr &m);
+
+    EventQueue &eq_;
+    NodeId self_;
+    CacheParams p_;
+    magic::Magic &magic_;
+
+    std::uint32_t numSets_;
+    std::uint64_t lruClock_ = 0;
+    std::vector<Way> ways_;
+    std::vector<Mshr> mshrs_;
+    Tick busyUntil_ = 0;
+    std::vector<Callback> mshrFreeWaiters_;
+};
+
+} // namespace flashsim::cpu
+
+#endif // FLASHSIM_CPU_CACHE_HH_

@@ -1,0 +1,142 @@
+#include "cpu/processor.hh"
+
+#include "sim/logging.hh"
+
+namespace flashsim::cpu
+{
+
+void
+Processor::busy(std::uint64_t instrs, bool in_sync)
+{
+    instrCarry_ += instrs;
+    Tick cycles = instrCarry_ / kIssueWidth;
+    instrCarry_ %= kIssueWidth;
+    cursor_ += cycles;
+    if (in_sync)
+        bd_.sync += cycles;
+    else
+        bd_.busy += cycles;
+    // Roughly one in three instructions is a memory reference; compute
+    // phases touch registers and primary-cache-resident data, so these
+    // references hit and only enter the miss-rate denominator.
+    bgRefCarry_ += instrs;
+    cache_.backgroundHits += bgRefCarry_ / 3;
+    bgRefCarry_ %= 3;
+}
+
+Tick
+Processor::absorbContention()
+{
+    Tick free_at = cache_.freeAt();
+    if (free_at <= cursor_)
+        return 0;
+    Tick wait = free_at - cursor_;
+    cursor_ = free_at;
+    bd_.cont += wait;
+    return wait;
+}
+
+void
+Processor::chargeStall(Tick cycles, bool in_sync, Tick Breakdown::*slot)
+{
+    if (in_sync)
+        bd_.sync += cycles;
+    else
+        bd_.*slot += cycles;
+}
+
+void
+Processor::read(Addr addr, bool in_sync, Callback done)
+{
+    busy(1, in_sync); // the load instruction itself
+    eq_.scheduleAt(cursor_, [this, addr, in_sync,
+                             done = std::move(done)]() mutable {
+        absorbContention();
+        attemptRead(addr, in_sync, cursor_, std::move(done));
+    });
+}
+
+void
+Processor::attemptRead(Addr addr, bool in_sync, Tick stall_start,
+                       Callback done)
+{
+    Cache::ReadOutcome out =
+        cache_.read(addr, [this, in_sync, stall_start, done]() {
+            // First 8 bytes delivered (critical word first).
+            cursor_ = eq_.now();
+            chargeStall(cursor_ - stall_start, in_sync,
+                        &Breakdown::read);
+            done();
+        });
+    switch (out) {
+      case Cache::ReadOutcome::Hit:
+        chargeStall(cursor_ - stall_start, in_sync, &Breakdown::read);
+        done();
+        return;
+      case Cache::ReadOutcome::Miss:
+        return; // the fill callback resumes the processor
+      case Cache::ReadOutcome::MshrFull:
+        cache_.onMshrFree([this, addr, in_sync, stall_start,
+                           done = std::move(done)]() mutable {
+            cursor_ = eq_.now();
+            absorbContention();
+            attemptRead(addr, in_sync, stall_start, std::move(done));
+        });
+        return;
+    }
+}
+
+void
+Processor::write(Addr addr, bool in_sync, Callback done)
+{
+    busy(1, in_sync); // the store instruction itself
+    eq_.scheduleAt(cursor_, [this, addr, in_sync,
+                             done = std::move(done)]() mutable {
+        absorbContention();
+        attemptWrite(addr, in_sync, cursor_, std::move(done));
+    });
+}
+
+void
+Processor::attemptWrite(Addr addr, bool in_sync, Tick stall_start,
+                        Callback done)
+{
+    Cache::WriteOutcome out = cache_.write(addr);
+    switch (out) {
+      case Cache::WriteOutcome::Done:
+      case Cache::WriteOutcome::Queued:
+        chargeStall(cursor_ - stall_start, in_sync, &Breakdown::write);
+        done();
+        return;
+      case Cache::WriteOutcome::Conflict:
+      case Cache::WriteOutcome::MshrFull:
+        cache_.onMshrFree([this, addr, in_sync, stall_start,
+                           done = std::move(done)]() mutable {
+            cursor_ = eq_.now();
+            absorbContention();
+            attemptWrite(addr, in_sync, stall_start, std::move(done));
+        });
+        return;
+    }
+}
+
+void
+Processor::absorbExternalWait(bool in_sync)
+{
+    Tick now = eq_.now();
+    if (now <= cursor_)
+        return;
+    chargeStall(now - cursor_, in_sync, &Breakdown::read);
+    cursor_ = now;
+}
+
+void
+Processor::markFinished()
+{
+    if (finished_)
+        panic("Processor %u finished twice", self_);
+    finished_ = true;
+    finishTime_ = cursor_;
+}
+
+} // namespace flashsim::cpu

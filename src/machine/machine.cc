@@ -1,0 +1,190 @@
+#include "machine/machine.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace flashsim::machine
+{
+
+namespace
+{
+/** Base of the application address space (must stay clear of the
+ *  protocol-data regions at 1<<44 and above). */
+constexpr Addr kAppBase = Addr{1} << 20;
+} // namespace
+
+Machine::Machine(const MachineConfig &cfg)
+    : cfg_(cfg), programs_(protocol::buildHandlerPrograms(cfg.ppCompile)),
+      base_(kAppBase), next_(kAppBase)
+{
+    cfg_.magic.pageShift = 0;
+    for (std::uint64_t b = cfg_.pageBytes; b > 1; b >>= 1)
+        ++cfg_.magic.pageShift;
+    net_ = std::make_unique<network::MeshNetwork>(eq_, cfg_.numProcs,
+                                                  cfg_.net);
+    nodes_.reserve(static_cast<std::size_t>(cfg_.numProcs));
+    for (int i = 0; i < cfg_.numProcs; ++i) {
+        nodes_.push_back(std::make_unique<Node>(
+            eq_, static_cast<NodeId>(i), cfg_, *this, &programs_, *net_));
+    }
+}
+
+Machine::~Machine() = default;
+
+Addr
+Machine::alloc(std::uint64_t bytes, NodeId node)
+{
+    if (node >= static_cast<NodeId>(cfg_.numProcs))
+        fatal("Machine::alloc: node %u out of range", node);
+    // Under the Section 4.3 hot-spot policies the physical allocator
+    // ignores NUMA placement hints: first-fit is the original
+    // bus-oriented IRIX port, Node0 the all-memory-on-one-node FFT
+    // experiment. Round-robin (the tuned kernel) honors explicit hints.
+    if (cfg_.placement == Placement::Node0 ||
+        cfg_.placement == Placement::FirstFit || cfg_.placementHook)
+        return allocAuto(bytes);
+    Addr start = next_;
+    std::uint64_t pages =
+        (bytes + cfg_.pageBytes - 1) / cfg_.pageBytes;
+    if (pages == 0)
+        pages = 1;
+    for (std::uint64_t p = 0; p < pages; ++p)
+        pageHome_.push_back(node);
+    next_ += pages * cfg_.pageBytes;
+    return start;
+}
+
+Addr
+Machine::allocAuto(std::uint64_t bytes)
+{
+    Addr start = next_;
+    std::uint64_t pages =
+        (bytes + cfg_.pageBytes - 1) / cfg_.pageBytes;
+    if (pages == 0)
+        pages = 1;
+    for (std::uint64_t p = 0; p < pages; ++p) {
+        if (cfg_.placementHook) {
+            pageHome_.push_back(cfg_.placementHook(pageHome_.size()) %
+                                static_cast<NodeId>(cfg_.numProcs));
+            continue;
+        }
+        NodeId home = 0;
+        switch (cfg_.placement) {
+          case Placement::RoundRobinPages:
+            home = static_cast<NodeId>(rrCounter_++ %
+                                       static_cast<std::uint64_t>(
+                                           cfg_.numProcs));
+            break;
+          case Placement::Node0:
+            home = 0;
+            break;
+          case Placement::FirstFit:
+            home = static_cast<NodeId>(
+                (firstFitAllocated_ / cfg_.firstFitNodeBytes) %
+                static_cast<std::uint64_t>(cfg_.numProcs));
+            firstFitAllocated_ += cfg_.pageBytes;
+            break;
+        }
+        pageHome_.push_back(home);
+    }
+    next_ += pages * cfg_.pageBytes;
+    return start;
+}
+
+NodeId
+Machine::homeOf(Addr addr) const
+{
+    if (addr < base_)
+        panic("homeOf: address 0x%llx below app base",
+              static_cast<unsigned long long>(addr));
+    std::uint64_t page = (addr - base_) / cfg_.pageBytes;
+    if (page >= pageHome_.size())
+        panic("homeOf: address 0x%llx was never allocated",
+              static_cast<unsigned long long>(addr));
+    return pageHome_[page];
+}
+
+tango::BarrierVar
+Machine::makeBarrier()
+{
+    tango::BarrierVar b;
+    b.parties = cfg_.numProcs;
+    int ngroups = (cfg_.numProcs + tango::BarrierVar::kArity - 1) /
+                  tango::BarrierVar::kArity;
+    for (int g = 0; g < ngroups; ++g) {
+        tango::BarrierVar::Group grp;
+        // Each group's lines live on one of its members' nodes.
+        NodeId home = static_cast<NodeId>(
+            (g * tango::BarrierVar::kArity) % cfg_.numProcs);
+        grp.countAddr = alloc(kLineSize, home);
+        grp.flagAddr = alloc(kLineSize, home);
+        grp.size = std::min(tango::BarrierVar::kArity,
+                            cfg_.numProcs -
+                                g * tango::BarrierVar::kArity);
+        b.groups.push_back(grp);
+    }
+    b.rootCountAddr = alloc(kLineSize, 0);
+    return b;
+}
+
+tango::LockVar
+Machine::makeLock(NodeId node)
+{
+    tango::LockVar l;
+    l.addr = alloc(kLineSize, node);
+    return l;
+}
+
+std::uint64_t
+Machine::pageIndexOf(Addr addr) const
+{
+    return (addr - base_) / cfg_.pageBytes;
+}
+
+std::unordered_map<std::uint64_t, Counter>
+Machine::pageHeat() const
+{
+    std::unordered_map<std::uint64_t, Counter> heat;
+    const std::uint64_t base_page = base_ / cfg_.pageBytes;
+    for (const auto &n : nodes_) {
+        for (const auto &[abs_page, count] :
+             n->magic().pageRemoteAccesses)
+            heat[abs_page - base_page] += count;
+    }
+    return heat;
+}
+
+Tick
+Machine::run(const Workload &workload)
+{
+    for (auto &n : nodes_)
+        n->startWorkload(workload);
+
+    auto all_done = [this] {
+        for (auto &n : nodes_)
+            if (!n->proc().finished())
+                return false;
+        return true;
+    };
+
+    while (!all_done()) {
+        if (!eq_.step())
+            fatal("Machine::run: deadlock — event queue empty with %d "
+                  "processors unfinished",
+                  cfg_.numProcs);
+    }
+
+    execTime_ = 0;
+    for (auto &n : nodes_)
+        execTime_ = std::max(execTime_, n->proc().finishTime());
+    return execTime_;
+}
+
+void
+Machine::drain()
+{
+    eq_.run();
+}
+
+} // namespace flashsim::machine

@@ -1,0 +1,81 @@
+#include "machine/node.hh"
+
+#include <algorithm>
+
+namespace flashsim::machine
+{
+
+Node::Node(EventQueue &eq, NodeId id, const MachineConfig &cfg,
+           const protocol::AddressMap &map,
+           const protocol::HandlerPrograms *programs,
+           network::MeshNetwork &net)
+    : id_(id)
+{
+    magic::MagicHooks hooks;
+    hooks.toProcessor = [this](const protocol::Message &m) {
+        cache_->deliver(m);
+    };
+    hooks.toNetwork = [&net](const protocol::Message &m) { net.send(m); };
+    hooks.cacheHoldsDirty = [this](Addr a) {
+        return cache_->holdsDirty(a);
+    };
+    hooks.cacheInvalidate = [this](Addr a) { cache_->invalidate(a); };
+    hooks.cacheDowngrade = [this](Addr a) { cache_->downgrade(a); };
+    hooks.cacheBusy = [this](Tick until) { cache_->busyUntil(until); };
+    hooks.blockReceived = [this](Addr token) {
+        env_->notifyBlockReceived(token);
+    };
+    hooks.blockAcked = [this](Addr token) {
+        env_->notifyBlockAcked(token);
+    };
+    hooks.fetchOpDone = [this](Addr addr) {
+        env_->notifyFetchOpDone(addr);
+    };
+
+    magic_ = std::make_unique<magic::Magic>(eq, id, cfg.magic, map,
+                                            programs, std::move(hooks));
+    cache_ = std::make_unique<cpu::Cache>(eq, id, cfg.cache, *magic_);
+    proc_ = std::make_unique<cpu::Processor>(eq, id, *cache_);
+    env_ = std::make_unique<tango::Env>(proc_.get(), static_cast<int>(id),
+                                        cfg.numProcs);
+    env_->blockSender = [this, &eq](NodeId dest, Addr addr,
+                                    std::uint32_t bytes, Tick when) {
+        eq.scheduleAt(std::max(when, eq.now()), [this, dest, addr,
+                                                 bytes] {
+            magic_->sendBlock(dest, addr, bytes);
+        });
+    };
+    env_->fetchOpSender = [this, &eq](Addr addr, Tick when) {
+        eq.scheduleAt(std::max(when, eq.now()), [this, addr] {
+            protocol::Message m;
+            m.type = protocol::MsgType::PiFetchOp;
+            m.src = id_;
+            m.dest = id_;
+            m.requester = id_;
+            m.addr = lineBase(addr);
+            magic_->fromProcessor(m);
+        });
+    };
+
+    net.connect(id, [this](const protocol::Message &m) {
+        magic_->fromNetwork(m);
+    });
+}
+
+tango::Task
+Node::rootTask(std::function<tango::Task(tango::Env &)> workload)
+{
+    inner_ = workload(*env_);
+    co_await inner_;
+    proc_->markFinished();
+}
+
+void
+Node::startWorkload(
+    const std::function<tango::Task(tango::Env &)> &workload)
+{
+    root_ = rootTask(workload);
+    root_.start();
+}
+
+} // namespace flashsim::machine

@@ -1,0 +1,114 @@
+#include "machine/runner.hh"
+
+#include "sim/logging.hh"
+
+namespace flashsim::machine
+{
+
+namespace
+{
+
+/** Which processor performs the measured read for each class. */
+constexpr int kReader[5] = {0, 0, 1, 1, 2};
+/** Which processor dirties the line first (-1: none). */
+constexpr int kWriter[5] = {-1, 1, -1, 0, 1};
+
+/**
+ * Both lines are homed on node 0 and adjacent, so their directory
+ * headers (and ack-table entries) share MAGIC data cache lines: the
+ * access to @p warm_line brings the protocol data into the MDC and the
+ * measured access to @p line then sees the steady-state (warm-MDC)
+ * latency that Table 3.3 reports. The MDC miss penalty itself is
+ * evaluated separately in Section 5.2.
+ */
+tango::Task
+probeTask(tango::Env &env, int cls, Addr warm_line, Addr line,
+          bool do_read)
+{
+    co_await env.busy(0);
+    const std::uint64_t wait_instrs = 400000; // 100k cycles of settling
+    if (env.id() == kWriter[cls]) {
+        co_await env.write(warm_line);
+        co_await env.write(line);
+    } else if (env.id() == kReader[cls]) {
+        co_await env.busy(wait_instrs);
+        co_await env.read(warm_line);
+        co_await env.busy(wait_instrs);
+        if (do_read)
+            co_await env.read(line);
+    }
+}
+
+/** Total PP busy cycles across the machine. */
+Cycles
+totalPpCycles(const Machine &m)
+{
+    Cycles total = 0;
+    for (int i = 0; i < m.numProcs(); ++i)
+        total += m.node(i).magic().ppOcc.busyCycles();
+    return total;
+}
+
+/** Run one probe; returns {latency, pp cycles for the read}. */
+std::pair<double, double>
+probeClass(const MachineConfig &cfg, int cls)
+{
+    // Reference run without the measured read, to subtract the PP
+    // cycles of the setup traffic (the write and its writeback path).
+    Cycles pp_base;
+    {
+        Machine m(cfg);
+        Addr warm = m.alloc(2 * kLineSize, 0);
+        m.run([cls, warm](tango::Env &env) {
+            return probeTask(env, cls, warm, warm + kLineSize, false);
+        });
+        m.drain();
+        pp_base = totalPpCycles(m);
+    }
+
+    Machine m(cfg);
+    Addr warm = m.alloc(2 * kLineSize, 0);
+    m.run([cls, warm](tango::Env &env) {
+        return probeTask(env, cls, warm, warm + kLineSize, true);
+    });
+    const cpu::Cache &reader = m.node(kReader[cls]).cache();
+    if (reader.missLatency.count() != 2)
+        panic("probeClass %d: expected 2 read misses at the reader, got "
+              "%llu", cls,
+              static_cast<unsigned long long>(reader.missLatency.count()));
+    double latency = reader.missLatency.last();
+    m.drain();
+    double pp = static_cast<double>(totalPpCycles(m)) -
+                static_cast<double>(pp_base);
+    return {latency, pp};
+}
+
+} // namespace
+
+ProbeResult
+probeMissLatencies(MachineConfig cfg)
+{
+    if (cfg.numProcs < 3)
+        fatal("probeMissLatencies: need at least 3 processors");
+    // Cold-MIC penalties would pollute the per-class PP deltas.
+    cfg.magic.micColdMiss = 0;
+    cfg.placement = Placement::Node0;
+
+    ProbeResult r;
+    double *lat[5] = {&r.latency.localClean, &r.latency.localDirtyRemote,
+                      &r.latency.remoteClean, &r.latency.remoteDirtyHome,
+                      &r.latency.remoteDirtyRemote};
+    double *occ[5] = {&r.ppOccupancy.localClean,
+                      &r.ppOccupancy.localDirtyRemote,
+                      &r.ppOccupancy.remoteClean,
+                      &r.ppOccupancy.remoteDirtyHome,
+                      &r.ppOccupancy.remoteDirtyRemote};
+    for (int cls = 0; cls < 5; ++cls) {
+        auto [latency, pp] = probeClass(cfg, cls);
+        *lat[cls] = latency;
+        *occ[cls] = pp;
+    }
+    return r;
+}
+
+} // namespace flashsim::machine

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Measurement harness helpers shared by tests and benchmarks: the
+ * no-contention miss-latency probe (Table 3.3) and CRMT computation.
+ */
+
+#ifndef FLASHSIM_MACHINE_RUNNER_HH_
+#define FLASHSIM_MACHINE_RUNNER_HH_
+
+#include "machine/machine.hh"
+#include "machine/report.hh"
+
+namespace flashsim::machine
+{
+
+/** Per-class probe results: latency and total PP occupancy. */
+struct ProbeResult
+{
+    MissLatencies latency;
+    MissLatencies ppOccupancy; ///< same slots, PP cycles per miss class
+};
+
+/**
+ * Measure the five read-miss classes of Table 3.3 on an otherwise idle
+ * machine built from @p cfg: each class is produced by a directed
+ * micro-workload (e.g. "dirty in a 3rd node's cache" = node 1 writes,
+ * node 2 reads) and the miss service time is read from the requester's
+ * cache. PP occupancy per class is the delta in machine-wide PP busy
+ * cycles attributable to servicing the read.
+ */
+ProbeResult probeMissLatencies(MachineConfig cfg);
+
+} // namespace flashsim::machine
+
+#endif // FLASHSIM_MACHINE_RUNNER_HH_

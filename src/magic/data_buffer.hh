@@ -1,0 +1,62 @@
+/**
+ * @file
+ * MAGIC data buffer pool.
+ *
+ * MAGIC stages line data in 16 on-chip, cache-line-sized buffers with
+ * per-word valid bits (which is what makes transfers pipelined and
+ * copy-free). We model the pool as a counting resource: a unit that
+ * needs a buffer when none is available stalls (Table 3.1).
+ */
+
+#ifndef FLASHSIM_MAGIC_DATA_BUFFER_HH_
+#define FLASHSIM_MAGIC_DATA_BUFFER_HH_
+
+#include "sim/stats.hh"
+
+namespace flashsim::magic
+{
+
+class DataBufferPool
+{
+  public:
+    explicit DataBufferPool(int count, bool infinite = false)
+        : free_(count), infinite_(infinite)
+    {}
+
+    bool
+    available() const
+    {
+        return infinite_ || free_ > 0;
+    }
+
+    /** Claim a buffer; returns false (and counts a stall) if exhausted. */
+    bool
+    acquire()
+    {
+        if (infinite_)
+            return true;
+        if (free_ == 0) {
+            ++stalls;
+            return false;
+        }
+        --free_;
+        return true;
+    }
+
+    void
+    release()
+    {
+        if (!infinite_)
+            ++free_;
+    }
+
+    Counter stalls = 0;
+
+  private:
+    int free_;
+    bool infinite_;
+};
+
+} // namespace flashsim::magic
+
+#endif // FLASHSIM_MAGIC_DATA_BUFFER_HH_

@@ -1,0 +1,59 @@
+#include "magic/jump_table.hh"
+
+#include "sim/logging.hh"
+
+namespace flashsim::magic
+{
+
+using protocol::MsgType;
+
+JumpTable
+JumpTable::standard(bool speculation_enabled)
+{
+    JumpTable jt;
+    auto on = [&](MsgType t, bool spec) {
+        jt.set(t, JumpTableEntry{true, spec && speculation_enabled});
+    };
+    // Memory-reading request types get the speculative read; everything
+    // else just dispatches.
+    on(MsgType::PiGet, true);
+    on(MsgType::PiGetx, true);
+    on(MsgType::NetGet, true);
+    on(MsgType::NetGetx, true);
+    on(MsgType::PiWriteback, false);
+    on(MsgType::PiReplaceHint, false);
+    on(MsgType::NetFwdGet, false);
+    on(MsgType::NetFwdGetx, false);
+    on(MsgType::NetSwb, false);
+    on(MsgType::NetOwnXfer, false);
+    on(MsgType::NetInval, false);
+    on(MsgType::NetInvalAck, false);
+    on(MsgType::NetPut, false);
+    on(MsgType::NetPutx, false);
+    on(MsgType::NetNack, false);
+    on(MsgType::NetWriteback, false);
+    on(MsgType::NetReplaceHint, false);
+    on(MsgType::NetBlockXfer, false);
+    on(MsgType::NetBlockAck, false);
+    on(MsgType::PiFetchOp, false); // word RMW issued by the handler
+    on(MsgType::NetFetchOp, false);
+    on(MsgType::NetFetchOpAck, false);
+    return jt;
+}
+
+const JumpTableEntry &
+JumpTable::lookup(MsgType t) const
+{
+    const JumpTableEntry &e = entries_[static_cast<std::size_t>(t)];
+    if (!e.valid)
+        panic("JumpTable: no entry for %s", protocol::msgTypeName(t));
+    return e;
+}
+
+void
+JumpTable::set(MsgType t, JumpTableEntry e)
+{
+    entries_[static_cast<std::size_t>(t)] = e;
+}
+
+} // namespace flashsim::magic

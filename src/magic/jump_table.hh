@@ -1,0 +1,44 @@
+/**
+ * @file
+ * The inbox jump table.
+ *
+ * The inbox indexes this small associative memory with fields of the
+ * message header; the entry names the PP handler to dispatch and says
+ * whether to launch a speculative memory read before the PP even sees
+ * the message (Section 5.1). The table is software-programmable — the
+ * speculation benchmark reprograms it with speculation disabled.
+ */
+
+#ifndef FLASHSIM_MAGIC_JUMP_TABLE_HH_
+#define FLASHSIM_MAGIC_JUMP_TABLE_HH_
+
+#include <array>
+
+#include "protocol/message.hh"
+
+namespace flashsim::magic
+{
+
+struct JumpTableEntry
+{
+    bool valid = false;
+    /** Initiate a speculative memory read when the message is at home. */
+    bool specRead = false;
+};
+
+class JumpTable
+{
+  public:
+    /** Standard programming for the coherence protocol. */
+    static JumpTable standard(bool speculation_enabled);
+
+    const JumpTableEntry &lookup(protocol::MsgType t) const;
+    void set(protocol::MsgType t, JumpTableEntry e);
+
+  private:
+    std::array<JumpTableEntry, protocol::kNumMsgTypes> entries_{};
+};
+
+} // namespace flashsim::magic
+
+#endif // FLASHSIM_MAGIC_JUMP_TABLE_HH_

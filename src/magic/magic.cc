@@ -1,0 +1,350 @@
+#include "magic/magic.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace
+{
+
+/**
+ * Debug aid: set FS_TRACE_LINE=<line number> (decimal) to trace every
+ * handler invocation for that cache line on stderr.
+ */
+bool
+traceLine(flashsim::Addr addr)
+{
+    static const char *env = std::getenv("FS_TRACE_LINE");
+    static const unsigned long long line =
+        env ? std::strtoull(env, nullptr, 0) : 0;
+    return env != nullptr && flashsim::lineNumber(addr) == line;
+}
+
+} // namespace
+
+namespace flashsim::magic
+{
+
+using protocol::Gate;
+using protocol::HandlerId;
+using protocol::HandlerResult;
+using protocol::Message;
+using protocol::MsgType;
+
+Magic::Magic(EventQueue &eq, NodeId self, const MagicParams &params,
+             const protocol::AddressMap &map,
+             const protocol::HandlerPrograms *programs, MagicHooks hooks)
+    : eq_(eq), self_(self), params_(params), map_(map),
+      hooks_(std::move(hooks)), dir_(),
+      mem_(params.memAccess, params.memBusy),
+      jumpTable_(JumpTable::standard(params.speculation)),
+      buffers_(params.dataBuffers, params.ideal), probe_(*this),
+      engine_(self, dir_, map_, probe_)
+{
+    if (params_.usePpEmulator && !params_.ideal) {
+        if (programs == nullptr)
+            fatal("Magic: usePpEmulator requires handler programs");
+        auto model =
+            std::make_unique<PpTimingModel>(*programs, dir_, params_);
+        ppModel_ = model.get();
+        timing_ = std::move(model);
+    } else {
+        timing_ = std::make_unique<TableTimingModel>();
+    }
+}
+
+Magic::~Magic() = default;
+
+void
+Magic::fromProcessor(const Message &msg)
+{
+    eq_.schedule(params_.piInbound,
+                 [this, msg] { enqueue(piQueue_, msg); });
+}
+
+void
+Magic::fromNetwork(const Message &msg)
+{
+    eq_.schedule(params_.niInbound,
+                 [this, msg] { enqueue(niQueue_, msg); });
+}
+
+void
+Magic::sendBlock(NodeId dest, Addr addr, std::uint32_t bytes)
+{
+    const Addr base = lineBase(addr);
+    const std::uint32_t chunks =
+        (bytes + static_cast<std::uint32_t>(kLineSize) - 1) /
+        static_cast<std::uint32_t>(kLineSize);
+    // The PP runs the send handler once to program the transfer; the
+    // data-transfer logic then streams chunks at memory speed, with a
+    // couple of PP cycles per chunk to compose each header.
+    const Cycles setup = params_.ideal ? 0 : 8;
+    ppOcc.addBusy(setup);
+    Tick launch = eq_.now() + setup;
+    for (std::uint32_t i = 0; i < chunks; ++i) {
+        Tick data_ready = mem_.read(launch);
+        if (!params_.ideal)
+            ppOcc.addBusy(2);
+        Message m;
+        m.type = MsgType::NetBlockXfer;
+        m.src = self_;
+        m.dest = dest;
+        m.requester = self_;
+        m.addr = base + static_cast<Addr>(i) * kLineSize;
+        m.aux = chunks - 1 - i; // chunks remaining after this one
+        ++blockChunksSent;
+        Tick t = std::max(launch + params_.niOutbound, data_ready);
+        eq_.scheduleAt(t, [this, m] { hooks_.toNetwork(m); });
+        launch = t; // chunks stay ordered on the wire
+    }
+}
+
+void
+Magic::enqueue(std::deque<Pending> &q, const Message &msg)
+{
+    ++msgsIn;
+    Pending p{msg, eq_.now(), false, 0};
+    // Speculative memory initiation happens as the inbox preprocesses
+    // the incoming header, concurrently with the PP working on earlier
+    // messages — this is what hides protocol processing behind the
+    // memory access time even when the PP is backed up (Section 4.3).
+    // Each early read stages into one of the 16 data buffers.
+    if (!params_.ideal && map_.homeOf(msg.addr) == self_ &&
+        jumpTable_.lookup(msg.type).specRead && buffers_.acquire()) {
+        p.specIssued = true;
+        p.specReady = mem_.read(eq_.now() + params_.jumpTable);
+        ++specIssued;
+    }
+    q.push_back(std::move(p));
+    tryDispatch();
+}
+
+void
+Magic::tryDispatch()
+{
+    if (ppBusy_)
+        return;
+    std::deque<Pending> *q = nullptr;
+    if (!piQueue_.empty() && !niQueue_.empty()) {
+        q = pickPiFirst_ ? &piQueue_ : &niQueue_;
+        pickPiFirst_ = !pickPiFirst_;
+    } else if (!piQueue_.empty()) {
+        q = &piQueue_;
+    } else if (!niQueue_.empty()) {
+        q = &niQueue_;
+    } else {
+        return;
+    }
+
+    Pending p = q->front();
+    q->pop_front();
+    queueStallCycles += eq_.now() - p.enqueued;
+    ppBusy_ = true;
+
+    // Inbox: queue selection/arbitration, then the jump-table lookup.
+    Cycles lead =
+        params_.inboxArb + (params_.ideal ? 0 : params_.jumpTable);
+    eq_.schedule(lead, [this, p = std::move(p)] { runHandler(p); });
+}
+
+void
+Magic::runHandler(Pending pending)
+{
+    const Message &msg = pending.msg;
+    const Tick now = eq_.now();
+    const NodeId home = map_.homeOf(msg.addr);
+    const bool at_home = home == self_;
+
+    // Speculative memory initiation: usually already launched by the
+    // inbox at message arrival; the ideal machine (or an inbox that ran
+    // out of data buffers) starts the read here instead.
+    bool spec_issued = pending.specIssued;
+    bool release_buffer = pending.specIssued;
+    Tick mem_ready = pending.specReady;
+    if (!spec_issued && at_home &&
+        jumpTable_.lookup(msg.type).specRead) {
+        mem_ready = mem_.read(now);
+        spec_issued = true;
+        ++specIssued;
+    }
+
+    const bool cache_dirty = hooks_.cacheHoldsDirty(msg.addr);
+    timing_->preHandler(msg, self_, home, cache_dirty);
+    HandlerResult res = engine_.handle(msg);
+    HandlerTiming ht = timing_->occupancy(msg, res);
+
+    if (traceLine(msg.addr)) {
+        std::fprintf(stderr,
+                     "[magic %u t=%llu] %s -> %s occ=%llu out=%zu "
+                     "cdirty=%d\n",
+                     self_, static_cast<unsigned long long>(now),
+                     msg.toString().c_str(),
+                     protocol::handlerIdName(res.id),
+                     static_cast<unsigned long long>(ht.occupancy),
+                     res.out.size(), cache_dirty);
+    }
+
+    Cycles occ = params_.ideal ? 0 : ht.occupancy;
+
+    // Optional PP-side page monitoring (Section 4.4): count remote
+    // requests per local page, paying a couple of handler cycles.
+    if (params_.monitorPages && at_home && msg.requester != self_ &&
+        (msg.type == MsgType::PiGet || msg.type == MsgType::NetGet ||
+         msg.type == MsgType::PiGetx || msg.type == MsgType::NetGetx)) {
+        ++pageRemoteAccesses[msg.addr >> params_.pageShift];
+        if (!params_.ideal)
+            occ += params_.monitorCost;
+    }
+
+    ppOcc.addBusy(occ);
+    ++invocations;
+    handlerCount[static_cast<std::size_t>(res.id)] += 1;
+    handlerCycles[static_cast<std::size_t>(res.id)] += ht.occupancy;
+    if (ht.micColdMiss)
+        ++micColdMisses;
+    if (res.nackedRequest)
+        ++nacksSent;
+
+    // Classify read-miss services (Tables 3.3 / 4.1). NACKed requests
+    // are classified when the successful retry is serviced.
+    if (msg.type == MsgType::PiGet || msg.type == MsgType::NetGet) {
+        const bool local = msg.requester == self_;
+        switch (res.id) {
+          case HandlerId::ServeReadMemory:
+            (local ? readClasses.localClean : readClasses.remoteClean) += 1;
+            break;
+          case HandlerId::RetrieveFromCache:
+            readClasses.remoteDirtyHome += 1;
+            break;
+          case HandlerId::FwdHomeToDirty:
+            (local ? readClasses.localDirtyRemote
+                   : readClasses.remoteDirtyRemote) += 1;
+            break;
+          default:
+            break;
+        }
+    }
+
+    // Protocol-data traffic: MDC fills and victim writebacks occupy the
+    // node's memory system (Section 5.2).
+    for (std::uint32_t i = 0; i < ht.mdcMisses + ht.mdcWritebacks; ++i)
+        mem_.protocolAccess(now);
+
+    const Tick pp_end = now + occ;
+
+    if (res.id == HandlerId::FetchOpService) {
+        // Word-granular RMW at the home memory (fetch&op).
+        mem_ready = mem_.rmw(now);
+    }
+    if (spec_issued && !res.memRead)
+        ++specUseless; // the data in memory was not the up-to-date copy
+    if (!spec_issued && res.memRead) {
+        // Without speculation the PP initiates the access itself once it
+        // has read the directory state.
+        mem_ready = mem_.read(pp_end);
+    }
+    if (res.memWrite)
+        mem_.write(pp_end);
+
+    // Processor-cache operations directed through the PI.
+    Tick cache_ready = 0;
+    if (res.cacheRetrieve) {
+        cache_ready =
+            now + params_.cacheStateRetrieve + params_.cacheDataRetrieve;
+        hooks_.cacheBusy(cache_ready);
+        if (res.cacheSharing)
+            hooks_.cacheDowngrade(msg.addr);
+        if (res.cacheInvalidate)
+            hooks_.cacheInvalidate(msg.addr);
+    } else if (res.cacheInvalidate) {
+        cache_ready = now + params_.cacheStateRetrieve;
+        hooks_.cacheBusy(cache_ready);
+        hooks_.cacheInvalidate(msg.addr);
+    } else if (res.cacheSharing) {
+        hooks_.cacheDowngrade(msg.addr);
+    }
+
+    for (const protocol::OutMsg &o : res.out) {
+        Tick gate = 0;
+        switch (o.gate) {
+          case Gate::MemData: gate = mem_ready; break;
+          case Gate::CacheData: gate = cache_ready; break;
+          case Gate::None: break;
+        }
+        launch(o.msg, pp_end, gate);
+    }
+
+    // Message-passing notifications.
+    if (msg.type == MsgType::NetBlockXfer) {
+        ++blockChunksReceived;
+        if (msg.aux == 0) {
+            ++blocksCompleted;
+            Addr base = msg.addr; // last chunk; block base not carried
+            eq_.scheduleAt(pp_end, [this, base] {
+                if (hooks_.blockReceived)
+                    hooks_.blockReceived(base);
+            });
+        }
+    } else if (msg.type == MsgType::NetBlockAck) {
+        Addr base = msg.addr;
+        eq_.scheduleAt(pp_end, [this, base] {
+            if (hooks_.blockAcked)
+                hooks_.blockAcked(base);
+        });
+    } else if (msg.type == MsgType::NetFetchOpAck) {
+        Addr fa = msg.addr;
+        eq_.scheduleAt(pp_end, [this, fa] {
+            if (hooks_.fetchOpDone)
+                hooks_.fetchOpDone(fa);
+        });
+    }
+
+    // A NACK reply at the requester: tell the cache so it retries.
+    if (msg.type == MsgType::NetNack) {
+        ++nacksReceived;
+        Tick t = pp_end + (params_.ideal ? 0 : params_.outbox);
+        eq_.scheduleAt(t, [this, msg] { hooks_.toProcessor(msg); });
+    }
+
+    eq_.scheduleAt(pp_end, [this, release_buffer] {
+        if (release_buffer)
+            buffers_.release();
+        ppBusy_ = false;
+        tryDispatch();
+    });
+}
+
+void
+Magic::launch(const Message &msg, Tick pp_end, Tick gate)
+{
+    const Cycles outbox = params_.ideal ? 0 : params_.outbox;
+    const Tick header_start = pp_end + outbox;
+
+    if (!protocol::isNetMsg(msg.type)) {
+        // Processor-bound reply: outbound PI processing overlaps with
+        // data staging; first word hits the bus after arbitration.
+        Tick t = std::max(header_start + params_.piOut(), gate) +
+                 params_.busArb + params_.busTransit;
+        eq_.scheduleAt(t, [this, msg] { hooks_.toProcessor(msg); });
+        return;
+    }
+
+    if (msg.dest == self_) {
+        // Local loopback (e.g. a NACK the home sends itself): re-enters
+        // through the network interface without transiting the mesh.
+        Tick t = std::max(header_start, gate);
+        eq_.scheduleAt(t, [this, msg] { fromNetwork(msg); });
+        return;
+    }
+
+    // Network-bound: NI outbound header processing overlaps with data
+    // staging (pipelined data buffers).
+    Tick t = std::max(header_start + params_.niOutbound, gate);
+    eq_.scheduleAt(t, [this, msg] { hooks_.toNetwork(msg); });
+}
+
+} // namespace flashsim::magic

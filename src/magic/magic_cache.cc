@@ -1,0 +1,79 @@
+#include "magic/magic_cache.hh"
+
+#include "sim/logging.hh"
+
+namespace flashsim::magic
+{
+
+MagicCache::MagicCache(std::uint32_t size_bytes, std::uint32_t assoc,
+                       std::uint32_t line_bytes)
+    : numSets_(size_bytes / (assoc * line_bytes)), assoc_(assoc),
+      lineBytes_(line_bytes)
+{
+    if (numSets_ == 0 || (numSets_ & (numSets_ - 1)) != 0)
+        fatal("MagicCache: set count %u must be a nonzero power of two",
+              numSets_);
+    ways_.resize(static_cast<std::size_t>(numSets_) * assoc_);
+}
+
+MdcAccess
+MagicCache::access(Addr addr, bool is_write)
+{
+    MdcAccess result;
+    if (is_write)
+        ++writes;
+    else
+        ++reads;
+
+    Addr line = addr / lineBytes_;
+    std::uint32_t set = static_cast<std::uint32_t>(line) & (numSets_ - 1);
+    Addr tag = line / numSets_;
+    Way *base = &ways_[static_cast<std::size_t>(set) * assoc_];
+
+    for (std::uint32_t w = 0; w < assoc_; ++w) {
+        Way &way = base[w];
+        if (way.valid && way.tag == tag) {
+            way.lru = ++lruClock_;
+            way.dirty = way.dirty || is_write;
+            return result;
+        }
+    }
+
+    // Miss: fill into the LRU (or an invalid) way.
+    result.hit = false;
+    if (is_write)
+        ++writeMisses;
+    else
+        ++readMisses;
+
+    Way *victim = base;
+    for (std::uint32_t w = 1; w < assoc_; ++w) {
+        Way &way = base[w];
+        if (!way.valid) {
+            victim = &way;
+            break;
+        }
+        if (!victim->valid)
+            break;
+        if (way.lru < victim->lru)
+            victim = &way;
+    }
+    if (victim->valid && victim->dirty) {
+        result.victimWriteback = true;
+        ++writebacks;
+    }
+    victim->valid = true;
+    victim->dirty = is_write;
+    victim->tag = tag;
+    victim->lru = ++lruClock_;
+    return result;
+}
+
+void
+MagicCache::flush()
+{
+    for (Way &w : ways_)
+        w = Way{};
+}
+
+} // namespace flashsim::magic

@@ -1,0 +1,147 @@
+#include "magic/timing_model.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace
+{
+/** Debug aid: set FS_TRACE_MDC=1 to log every MDC access on stderr. */
+bool
+traceMdc()
+{
+    static const bool on = std::getenv("FS_TRACE_MDC") != nullptr;
+    return on;
+}
+} // namespace
+
+namespace flashsim::magic
+{
+
+using protocol::HandlerId;
+
+Cycles
+TableTimingModel::cost(HandlerId id, int param)
+{
+    switch (id) {
+      case HandlerId::ServeReadMemory: return 11;
+      case HandlerId::ServeWriteMemory:
+        return 14 + 13 * static_cast<Cycles>(param);
+      case HandlerId::FwdToHome: return 3;
+      case HandlerId::FwdHomeToDirty: return 18;
+      case HandlerId::RetrieveFromCache: return 38;
+      case HandlerId::ReplyToProc: return 2;
+      case HandlerId::LocalWriteback: return 10;
+      case HandlerId::LocalHint: return 7;
+      case HandlerId::RemoteWriteback: return 8;
+      case HandlerId::RemoteHintOnly: return 17;
+      case HandlerId::RemoteHintNth:
+        return 23 + 14 * static_cast<Cycles>(param);
+      case HandlerId::InvalReceive: return 9;
+      case HandlerId::InvalAck: return 4;
+      case HandlerId::SwbReceive: return 10;
+      case HandlerId::OwnXferReceive: return 5;
+      case HandlerId::NackReceive: return 3;
+      case HandlerId::HomeNack: return 6;
+    }
+    return 0;
+}
+
+HandlerTiming
+TableTimingModel::occupancy(const protocol::Message &,
+                            const protocol::HandlerResult &res)
+{
+    HandlerTiming t;
+    t.occupancy = cost(res.id, res.costParam);
+    return t;
+}
+
+std::uint64_t
+PpTimingModel::ShadowMemory::load(Addr addr, Cycles &extra)
+{
+    MdcAccess a = mdc_.access(addr, false);
+    if (traceMdc())
+        std::fprintf(stderr, "[mdc] ld 0x%llx %s\n",
+                     static_cast<unsigned long long>(addr),
+                     a.hit ? "hit" : "MISS");
+    extra = a.hit ? 0 : missPenalty_;
+    if (!a.hit)
+        ++misses;
+    if (a.victimWriteback)
+        ++writebacks;
+    auto it = writes_.find(addr);
+    return it != writes_.end() ? it->second : dir_.loadWord(addr);
+}
+
+void
+PpTimingModel::ShadowMemory::store(Addr addr, std::uint64_t value,
+                                   Cycles &extra)
+{
+    MdcAccess a = mdc_.access(addr, true);
+    if (traceMdc())
+        std::fprintf(stderr, "[mdc] sd 0x%llx %s\n",
+                     static_cast<unsigned long long>(addr),
+                     a.hit ? "hit" : "MISS");
+    extra = a.hit ? 0 : missPenalty_;
+    if (!a.hit)
+        ++misses;
+    if (a.victimWriteback)
+        ++writebacks;
+    writes_[addr] = value;
+}
+
+void
+PpTimingModel::ShadowMemory::reset()
+{
+    writes_.clear();
+    misses = 0;
+    writebacks = 0;
+}
+
+PpTimingModel::PpTimingModel(const protocol::HandlerPrograms &programs,
+                             const protocol::DirectoryStore &dir,
+                             const MagicParams &params)
+    : programs_(programs), params_(params),
+      mdc_(params.mdcBytes, params.mdcAssoc, params.mdcLineBytes),
+      shadow_(dir, mdc_, params.mdcMissPenalty)
+{}
+
+void
+PpTimingModel::preHandler(const protocol::Message &msg, NodeId self,
+                          NodeId home, bool cache_dirty)
+{
+    const ppisa::Program &prog =
+        programs_.forMessage(msg.type, home == self);
+    shadow_.reset();
+    ppisa::RegFile regs =
+        protocol::makeHandlerRegs(msg, self, home, cache_dirty);
+    std::vector<ppisa::SentMessage> sent;
+    Cycles cycles = sim_.run(prog, regs, shadow_, sent, stats_);
+
+    last_ = HandlerTiming{};
+    last_.occupancy = cycles;
+    last_.mdcMisses = shadow_.misses;
+    last_.mdcWritebacks = shadow_.writebacks;
+    if (warmPrograms_.insert(&prog).second) {
+        last_.micColdMiss = true;
+        last_.occupancy += params_.micColdMiss;
+    }
+}
+
+HandlerTiming
+PpTimingModel::occupancy(const protocol::Message &,
+                         const protocol::HandlerResult &res)
+{
+    HandlerTiming t = last_;
+    // The PP coordinates the PI intervention while data streams out of
+    // the processor cache; Table 3.4 charges this coordination to the
+    // handler ("retrieve data from processor cache": 38 cycles total).
+    if (res.cacheRetrieve)
+        t.occupancy += params_.cacheStateRetrieve +
+                       params_.cacheDataRetrieve - 1;
+    return t;
+}
+
+} // namespace flashsim::magic

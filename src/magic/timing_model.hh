@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Handler timing models.
+ *
+ * MAGIC asks a HandlerTimingModel how many cycles the PP is occupied by
+ * each handler invocation. Two implementations:
+ *
+ *  - TableTimingModel: the per-operation occupancies of Table 3.4.
+ *    Deterministic and independent of the PP toolchain; used in unit
+ *    tests and as a cross-check.
+ *
+ *  - PpTimingModel: executes the compiled PP handler program (PPsim)
+ *    against a shadow view of the live directory, with every load/store
+ *    filtered through the MAGIC data cache model. Yields dynamic cycle
+ *    counts, MDC miss traffic, and the Table 5.2 instruction statistics.
+ */
+
+#ifndef FLASHSIM_MAGIC_TIMING_MODEL_HH_
+#define FLASHSIM_MAGIC_TIMING_MODEL_HH_
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "magic/magic_cache.hh"
+#include "magic/params.hh"
+#include "ppisa/ppsim.hh"
+#include "protocol/directory.hh"
+#include "protocol/handlers.hh"
+#include "protocol/message.hh"
+#include "protocol/pp_programs.hh"
+
+namespace flashsim::magic
+{
+
+/** Per-invocation information the PP model reports back to MAGIC. */
+struct HandlerTiming
+{
+    Cycles occupancy = 0;       ///< PP busy cycles (incl. MDC stalls)
+    std::uint32_t mdcMisses = 0;///< misses -> main-memory fills
+    std::uint32_t mdcWritebacks = 0; ///< dirty victims -> memory writes
+    bool micColdMiss = false;   ///< first invocation of this handler
+};
+
+class HandlerTimingModel
+{
+  public:
+    virtual ~HandlerTimingModel() = default;
+
+    /**
+     * Called with pre-handler state, before the authoritative C++
+     * handler mutates the directory.
+     */
+    virtual void preHandler(const protocol::Message &msg, NodeId self,
+                            NodeId home, bool cache_dirty) = 0;
+
+    /** Called after the authoritative handler; returns the timing. */
+    virtual HandlerTiming occupancy(const protocol::Message &msg,
+                                    const protocol::HandlerResult &res) = 0;
+};
+
+/** Table 3.4 occupancies. */
+class TableTimingModel : public HandlerTimingModel
+{
+  public:
+    void preHandler(const protocol::Message &, NodeId, NodeId,
+                    bool) override
+    {}
+    HandlerTiming occupancy(const protocol::Message &msg,
+                            const protocol::HandlerResult &res) override;
+
+    /** The Table 3.4 cost of a handler outcome (exposed for benches). */
+    static Cycles cost(protocol::HandlerId id, int param);
+};
+
+/** PPsim-driven timing. */
+class PpTimingModel : public HandlerTimingModel
+{
+  public:
+    PpTimingModel(const protocol::HandlerPrograms &programs,
+                  const protocol::DirectoryStore &dir,
+                  const MagicParams &params);
+
+    void preHandler(const protocol::Message &msg, NodeId self, NodeId home,
+                    bool cache_dirty) override;
+    HandlerTiming occupancy(const protocol::Message &msg,
+                            const protocol::HandlerResult &res) override;
+
+    /** Accumulated dynamic instruction statistics (Table 5.2). */
+    const ppisa::RunStats &runStats() const { return stats_; }
+
+    /** The MDC model (Section 5.2 statistics). */
+    const MagicCache &mdc() const { return mdc_; }
+    MagicCache &mdc() { return mdc_; }
+
+  private:
+    /** Shadow memory: reads through to the live directory, buffers
+     *  writes, charges MDC miss penalties. */
+    class ShadowMemory : public ppisa::PpMemory
+    {
+      public:
+        ShadowMemory(const protocol::DirectoryStore &dir, MagicCache &mdc,
+                     Cycles miss_penalty)
+            : dir_(dir), mdc_(mdc), missPenalty_(miss_penalty)
+        {}
+
+        std::uint64_t load(Addr addr, Cycles &extra) override;
+        void store(Addr addr, std::uint64_t value, Cycles &extra) override;
+
+        void reset();
+        std::uint32_t misses = 0;
+        std::uint32_t writebacks = 0;
+
+      private:
+        const protocol::DirectoryStore &dir_;
+        MagicCache &mdc_;
+        Cycles missPenalty_;
+        std::unordered_map<Addr, std::uint64_t> writes_;
+    };
+
+    const protocol::HandlerPrograms &programs_;
+    MagicParams params_;
+    MagicCache mdc_;
+    ShadowMemory shadow_;
+    ppisa::PpSim sim_;
+    ppisa::RunStats stats_;
+    HandlerTiming last_;
+    std::unordered_set<const ppisa::Program *> warmPrograms_;
+};
+
+} // namespace flashsim::magic
+
+#endif // FLASHSIM_MAGIC_TIMING_MODEL_HH_

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Node main-memory controller.
+ *
+ * 64-bit path to memory, 14 cycles from the head of the controller
+ * queue to the first 8 bytes, and a 128-byte line that streams for 16
+ * cycles (Section 3.2). The controller services one access at a time;
+ * later requests wait for the current one, which is how memory
+ * occupancy (Tables 4.1/4.2) turns into queueing delay.
+ */
+
+#ifndef FLASHSIM_MEMSYS_MEMORY_CONTROLLER_HH_
+#define FLASHSIM_MEMSYS_MEMORY_CONTROLLER_HH_
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace flashsim::memsys
+{
+
+class MemoryController
+{
+  public:
+    /**
+     * @param access_cycles cycles to the first 8 bytes (Table 3.2: 14)
+     * @param busy_cycles   service interval per line access (16)
+     */
+    MemoryController(Cycles access_cycles, Cycles busy_cycles)
+        : accessCycles_(access_cycles), busyCycles_(busy_cycles)
+    {}
+
+    /**
+     * Issue a line read at @p t. @return the time the first 8 bytes are
+     * available at the node controller.
+     */
+    Tick
+    read(Tick t)
+    {
+        ++reads;
+        Tick start = begin(t);
+        return start + accessCycles_;
+    }
+
+    /** Issue a line write at @p t (no completion dependency). */
+    void
+    write(Tick t)
+    {
+        ++writes;
+        begin(t);
+    }
+
+    /**
+     * Word-sized read-modify-write (fetch&op): one access slot, the
+     * row stays open for the write, no line streaming.
+     * @return time the old value is available.
+     */
+    Tick
+    rmw(Tick t)
+    {
+        ++rmws;
+        Tick start = t > busyUntil_ ? t : busyUntil_;
+        busyUntil_ = start + accessCycles_ + 4;
+        occ.addBusy(accessCycles_ + 4);
+        return start + accessCycles_;
+    }
+
+    /**
+     * Occupy the controller for a protocol-data (MDC fill/writeback)
+     * access at @p t.
+     */
+    void
+    protocolAccess(Tick t)
+    {
+        ++protocolAccesses;
+        begin(t);
+    }
+
+    /** Earliest time a new access could start. */
+    Tick freeAt() const { return busyUntil_; }
+
+    Counter reads = 0;
+    Counter writes = 0;
+    Counter rmws = 0;
+    Counter protocolAccesses = 0;
+    Occupancy occ;
+
+  private:
+    Tick
+    begin(Tick t)
+    {
+        Tick start = t > busyUntil_ ? t : busyUntil_;
+        busyUntil_ = start + busyCycles_;
+        occ.addBusy(busyCycles_);
+        return start;
+    }
+
+    Cycles accessCycles_;
+    Cycles busyCycles_;
+    Tick busyUntil_ = 0;
+};
+
+} // namespace flashsim::memsys
+
+#endif // FLASHSIM_MEMSYS_MEMORY_CONTROLLER_HH_

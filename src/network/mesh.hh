@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The interconnection network model.
+ *
+ * The paper charges every message a fixed transit latency derived from
+ * the average path on a 2-D mesh with a 40 ns per-hop fall-through time
+ * (Section 3.2): one hop to enter, the average internal hop count, one
+ * hop to exit, plus 3 cycles of header. For 16 processors this comes to
+ * 22 cycles; the same geometry formula scales the latency for the
+ * 64-processor runs of Section 4.5.
+ *
+ * Optionally the model charges actual per-pair Manhattan distances
+ * instead of the average (distanceBased), which the paper's simulator
+ * did not do; the default matches the paper.
+ */
+
+#ifndef FLASHSIM_NETWORK_MESH_HH_
+#define FLASHSIM_NETWORK_MESH_HH_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "protocol/message.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace flashsim::network
+{
+
+struct MeshParams
+{
+    Cycles perHop = 4;    ///< 40 ns fall-through
+    Cycles header = 3;    ///< header cycles
+    bool distanceBased = false; ///< per-pair distance instead of average
+};
+
+class MeshNetwork
+{
+  public:
+    using Deliver = std::function<void(const protocol::Message &)>;
+
+    MeshNetwork(EventQueue &eq, int num_nodes, MeshParams params = {});
+
+    /** Register node @p n's delivery callback (its NI inbound). */
+    void connect(NodeId n, Deliver deliver);
+
+    /** Inject a message; it is delivered after its transit latency. */
+    void send(const protocol::Message &msg);
+
+    /** Average transit latency in cycles (22 for 16 nodes). */
+    Cycles avgTransit() const { return avgTransit_; }
+
+    /** Transit latency charged for a specific pair. */
+    Cycles transit(NodeId src, NodeId dest) const;
+
+    /** Mesh side length (smallest square covering num_nodes). */
+    int side() const { return side_; }
+
+    Counter messages = 0;
+    Counter dataMessages = 0;
+
+  private:
+    EventQueue &eq_;
+    int numNodes_;
+    int side_;
+    MeshParams params_;
+    Cycles avgTransit_;
+    std::vector<Deliver> deliver_;
+};
+
+} // namespace flashsim::network
+
+#endif // FLASHSIM_NETWORK_MESH_HH_

@@ -1,0 +1,27 @@
+#include "ppc/compiler.hh"
+
+namespace flashsim::ppc
+{
+
+LinearCode
+LinearCode::fromFunction(const IrFunction &f)
+{
+    LinearCode code;
+    code.name = f.name();
+    code.instrs = f.instrs();
+    code.labelPos = f.labelPos();
+    return code;
+}
+
+ppisa::Program
+compile(const IrFunction &f, const CompileOptions &opts)
+{
+    f.validate();
+    LinearCode code = LinearCode::fromFunction(f);
+    if (!opts.useSpecialInstrs)
+        code = expandSpecials(code);
+    return opts.dualIssue ? scheduleDualIssue(code)
+                          : scheduleSingleIssue(code);
+}
+
+} // namespace flashsim::ppc

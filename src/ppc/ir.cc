@@ -1,0 +1,227 @@
+#include "ppc/ir.hh"
+
+#include "sim/logging.hh"
+
+namespace flashsim::ppc
+{
+
+ppisa::Instr
+IrInstr::toInstr(std::int64_t resolved_target) const
+{
+    ppisa::Instr in;
+    in.op = op;
+    in.rd = rd;
+    in.rs = rs;
+    in.rt = rt;
+    in.imm = label >= 0 ? resolved_target : imm;
+    in.lo = lo;
+    in.width = width;
+    return in;
+}
+
+Reg
+IrFunction::reg()
+{
+    if (nextReg_ >= kScratchBase)
+        panic("IrFunction '%s': out of registers", name_.c_str());
+    return Reg{nextReg_++};
+}
+
+Label
+IrFunction::label()
+{
+    labelPos_.push_back(-1);
+    return Label{static_cast<int>(labelPos_.size()) - 1};
+}
+
+void
+IrFunction::bind(Label l)
+{
+    if (l.id < 0 || l.id >= static_cast<int>(labelPos_.size()))
+        panic("IrFunction '%s': bad label", name_.c_str());
+    if (labelPos_[l.id] != -1)
+        panic("IrFunction '%s': label %d bound twice", name_.c_str(), l.id);
+    labelPos_[l.id] = static_cast<int>(instrs_.size());
+}
+
+void
+IrFunction::rrr(Op op, Reg d, Reg a, Reg b)
+{
+    IrInstr in;
+    in.op = op;
+    in.rd = d.id;
+    in.rs = a.id;
+    in.rt = b.id;
+    instrs_.push_back(in);
+}
+
+void
+IrFunction::rri(Op op, Reg d, Reg a, std::int64_t imm)
+{
+    IrInstr in;
+    in.op = op;
+    in.rd = d.id;
+    in.rs = a.id;
+    in.imm = imm;
+    instrs_.push_back(in);
+}
+
+void
+IrFunction::ld(Reg d, Reg base, std::int64_t off)
+{
+    IrInstr in;
+    in.op = Op::Ld;
+    in.rd = d.id;
+    in.rs = base.id;
+    in.imm = off;
+    instrs_.push_back(in);
+}
+
+void
+IrFunction::sd(Reg base, std::int64_t off, Reg val)
+{
+    IrInstr in;
+    in.op = Op::Sd;
+    in.rs = base.id;
+    in.rt = val.id;
+    in.imm = off;
+    instrs_.push_back(in);
+}
+
+void
+IrFunction::beq(Reg a, Reg b, Label l)
+{
+    IrInstr in;
+    in.op = Op::Beq;
+    in.rs = a.id;
+    in.rt = b.id;
+    in.label = l.id;
+    instrs_.push_back(in);
+}
+
+void
+IrFunction::bne(Reg a, Reg b, Label l)
+{
+    IrInstr in;
+    in.op = Op::Bne;
+    in.rs = a.id;
+    in.rt = b.id;
+    in.label = l.id;
+    instrs_.push_back(in);
+}
+
+void
+IrFunction::j(Label l)
+{
+    IrInstr in;
+    in.op = Op::J;
+    in.label = l.id;
+    instrs_.push_back(in);
+}
+
+void
+IrFunction::halt()
+{
+    IrInstr in;
+    in.op = Op::Halt;
+    instrs_.push_back(in);
+}
+
+void
+IrFunction::bbs(Reg a, unsigned bit, Label l)
+{
+    IrInstr in;
+    in.op = Op::Bbs;
+    in.rs = a.id;
+    in.lo = static_cast<std::uint8_t>(bit);
+    in.label = l.id;
+    instrs_.push_back(in);
+}
+
+void
+IrFunction::bbc(Reg a, unsigned bit, Label l)
+{
+    IrInstr in;
+    in.op = Op::Bbc;
+    in.rs = a.id;
+    in.lo = static_cast<std::uint8_t>(bit);
+    in.label = l.id;
+    instrs_.push_back(in);
+}
+
+void
+IrFunction::ext(Reg d, Reg a, unsigned lo, unsigned width)
+{
+    IrInstr in;
+    in.op = Op::Ext;
+    in.rd = d.id;
+    in.rs = a.id;
+    in.lo = static_cast<std::uint8_t>(lo);
+    in.width = static_cast<std::uint8_t>(width);
+    instrs_.push_back(in);
+}
+
+void
+IrFunction::ins(Reg d, Reg a, unsigned lo, unsigned width)
+{
+    IrInstr in;
+    in.op = Op::Ins;
+    in.rd = d.id;
+    in.rs = a.id;
+    in.lo = static_cast<std::uint8_t>(lo);
+    in.width = static_cast<std::uint8_t>(width);
+    instrs_.push_back(in);
+}
+
+void
+IrFunction::orfi(Reg d, Reg a, unsigned lo, unsigned width)
+{
+    IrInstr in;
+    in.op = Op::Orfi;
+    in.rd = d.id;
+    in.rs = a.id;
+    in.lo = static_cast<std::uint8_t>(lo);
+    in.width = static_cast<std::uint8_t>(width);
+    instrs_.push_back(in);
+}
+
+void
+IrFunction::andfi(Reg d, Reg a, unsigned lo, unsigned width)
+{
+    IrInstr in;
+    in.op = Op::Andfi;
+    in.rd = d.id;
+    in.rs = a.id;
+    in.lo = static_cast<std::uint8_t>(lo);
+    in.width = static_cast<std::uint8_t>(width);
+    instrs_.push_back(in);
+}
+
+void
+IrFunction::send(int msg_type, Reg dest, Reg arg)
+{
+    IrInstr in;
+    in.op = Op::Send;
+    in.rs = dest.id;
+    in.rt = arg.id;
+    in.imm = msg_type;
+    instrs_.push_back(in);
+}
+
+void
+IrFunction::validate() const
+{
+    for (std::size_t i = 0; i < labelPos_.size(); ++i)
+        if (labelPos_[i] == -1)
+            panic("IrFunction '%s': label %zu never bound", name_.c_str(),
+                  i);
+    for (const auto &in : instrs_) {
+        if (in.label >= static_cast<int>(labelPos_.size()))
+            panic("IrFunction '%s': dangling label reference",
+                  name_.c_str());
+    }
+    if (instrs_.empty() || instrs_.back().op != Op::Halt)
+        panic("IrFunction '%s': must end with halt", name_.c_str());
+}
+
+} // namespace flashsim::ppc

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Handler intermediate representation and builder.
+ *
+ * Protocol handlers are written once against this builder API (the
+ * analogue of the paper's C handlers compiled with the gcc port). The
+ * compiler then emits either the optimized PP program (special
+ * instructions + statically scheduled dual-issue, like PPtwine) or the
+ * baseline program (special instructions expanded into the DLX
+ * substitution sequences of Table 5.3, single-issue) for the Section 5.3
+ * ablation.
+ *
+ * Registers in the IR are physical PP registers handed out sequentially
+ * by the builder; handlers are small enough that no spilling is needed
+ * (the builder panics if a handler exceeds the allocatable range).
+ * Registers r26..r29 are reserved as scratch for the DLX expansion pass.
+ */
+
+#ifndef FLASHSIM_PPC_IR_HH_
+#define FLASHSIM_PPC_IR_HH_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ppisa/instruction.hh"
+
+namespace flashsim::ppc
+{
+
+using ppisa::Op;
+
+/** An unscheduled IR instruction; branch targets are label ids. */
+struct IrInstr
+{
+    Op op = Op::Nop;
+    std::uint8_t rd = 0;
+    std::uint8_t rs = 0;
+    std::uint8_t rt = 0;
+    std::int64_t imm = 0;
+    std::uint8_t lo = 0;
+    std::uint8_t width = 0;
+    int label = -1; ///< branch target label, or -1
+
+    /** Convert to an executable instruction (imm <- resolved target). */
+    ppisa::Instr toInstr(std::int64_t resolved_target) const;
+};
+
+/** A register handle handed out by the builder. */
+struct Reg
+{
+    std::uint8_t id = 0;
+};
+
+/** A branch-target handle. */
+struct Label
+{
+    int id = -1;
+};
+
+/** First scratch register reserved for the expansion pass. */
+inline constexpr std::uint8_t kScratchBase = 26;
+/** Number of reserved scratch registers. */
+inline constexpr std::uint8_t kNumScratch = 4;
+
+/**
+ * A handler function under construction: a linear instruction list with
+ * labels bound to positions.
+ */
+class IrFunction
+{
+  public:
+    explicit IrFunction(std::string name) : name_(std::move(name)) {}
+
+    const std::string &name() const { return name_; }
+    const std::vector<IrInstr> &instrs() const { return instrs_; }
+    /** Position each label is bound to (index into instrs()). */
+    const std::vector<int> &labelPos() const { return labelPos_; }
+
+    // -- Register and label management ------------------------------------
+    /** Allocate a fresh register (r1 upward, below the scratch range). */
+    Reg reg();
+    Label label();
+    /** Bind @p l to the current end of the instruction stream. */
+    void bind(Label l);
+
+    // -- ALU ----------------------------------------------------------------
+    void add(Reg d, Reg a, Reg b) { rrr(Op::Add, d, a, b); }
+    void sub(Reg d, Reg a, Reg b) { rrr(Op::Sub, d, a, b); }
+    void and_(Reg d, Reg a, Reg b) { rrr(Op::And, d, a, b); }
+    void or_(Reg d, Reg a, Reg b) { rrr(Op::Or, d, a, b); }
+    void xor_(Reg d, Reg a, Reg b) { rrr(Op::Xor, d, a, b); }
+    void slt(Reg d, Reg a, Reg b) { rrr(Op::Slt, d, a, b); }
+    void sltu(Reg d, Reg a, Reg b) { rrr(Op::Sltu, d, a, b); }
+    void addi(Reg d, Reg a, std::int64_t imm) { rri(Op::Addi, d, a, imm); }
+    void andi(Reg d, Reg a, std::int64_t imm) { rri(Op::Andi, d, a, imm); }
+    void ori(Reg d, Reg a, std::int64_t imm) { rri(Op::Ori, d, a, imm); }
+    void xori(Reg d, Reg a, std::int64_t imm) { rri(Op::Xori, d, a, imm); }
+    void slli(Reg d, Reg a, std::int64_t imm) { rri(Op::Slli, d, a, imm); }
+    void srli(Reg d, Reg a, std::int64_t imm) { rri(Op::Srli, d, a, imm); }
+    void srai(Reg d, Reg a, std::int64_t imm) { rri(Op::Srai, d, a, imm); }
+    void slti(Reg d, Reg a, std::int64_t imm) { rri(Op::Slti, d, a, imm); }
+    /** d = imm (pseudo-op: addi d, r0, imm). */
+    void li(Reg d, std::int64_t imm) { rri(Op::Addi, d, Reg{0}, imm); }
+    /** d = a (pseudo-op: addi d, a, 0). */
+    void mv(Reg d, Reg a) { rri(Op::Addi, d, a, 0); }
+
+    // -- Memory --------------------------------------------------------------
+    void ld(Reg d, Reg base, std::int64_t off);
+    void sd(Reg base, std::int64_t off, Reg val);
+
+    // -- Control -------------------------------------------------------------
+    void beq(Reg a, Reg b, Label l);
+    void bne(Reg a, Reg b, Label l);
+    void j(Label l);
+    void halt();
+
+    // -- FLASH special instructions -------------------------------------------
+    void ffs(Reg d, Reg a) { rri(Op::Ffs, d, a, 0); }
+    void bbs(Reg a, unsigned bit, Label l);
+    void bbc(Reg a, unsigned bit, Label l);
+    void ext(Reg d, Reg a, unsigned lo, unsigned width);
+    void ins(Reg d, Reg a, unsigned lo, unsigned width);
+    void orfi(Reg d, Reg a, unsigned lo, unsigned width);
+    void andfi(Reg d, Reg a, unsigned lo, unsigned width);
+
+    // -- MAGIC I/O -------------------------------------------------------------
+    void send(int msg_type, Reg dest, Reg arg);
+
+    /** Validate: all labels bound, registers in range; panics on error. */
+    void validate() const;
+
+  private:
+    void rrr(Op op, Reg d, Reg a, Reg b);
+    void rri(Op op, Reg d, Reg a, std::int64_t imm);
+
+    std::string name_;
+    std::vector<IrInstr> instrs_;
+    std::vector<int> labelPos_;
+    std::uint8_t nextReg_ = 1;
+};
+
+} // namespace flashsim::ppc
+
+#endif // FLASHSIM_PPC_IR_HH_

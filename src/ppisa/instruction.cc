@@ -1,0 +1,186 @@
+#include "ppisa/instruction.hh"
+
+#include <sstream>
+
+namespace flashsim::ppisa
+{
+
+bool
+Instr::isBranch() const
+{
+    switch (op) {
+      case Op::Beq:
+      case Op::Bne:
+      case Op::J:
+      case Op::Bbs:
+      case Op::Bbc:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+Instr::isSpecial() const
+{
+    switch (op) {
+      case Op::Ffs:
+      case Op::Bbs:
+      case Op::Bbc:
+      case Op::Ext:
+      case Op::Ins:
+      case Op::Orfi:
+      case Op::Andfi:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+Instr::isAluOrBranch() const
+{
+    switch (op) {
+      case Op::Nop:
+      case Op::Ld:
+      case Op::Sd:
+      case Op::Halt:
+      case Op::Send:
+        return false;
+      default:
+        return true;
+    }
+}
+
+int
+Instr::destReg() const
+{
+    switch (op) {
+      case Op::Add: case Op::Sub: case Op::And: case Op::Or: case Op::Xor:
+      case Op::Sllv: case Op::Srlv: case Op::Slt: case Op::Sltu:
+      case Op::Addi: case Op::Andi: case Op::Ori: case Op::Xori:
+      case Op::Slli: case Op::Srli: case Op::Srai: case Op::Slti:
+      case Op::Ld: case Op::Ffs: case Op::Ext: case Op::Ins:
+      case Op::Orfi: case Op::Andfi:
+        return rd;
+      default:
+        return -1;
+    }
+}
+
+std::vector<int>
+Instr::srcRegs() const
+{
+    switch (op) {
+      case Op::Add: case Op::Sub: case Op::And: case Op::Or: case Op::Xor:
+      case Op::Sllv: case Op::Srlv: case Op::Slt: case Op::Sltu:
+        return {rs, rt};
+      case Op::Addi: case Op::Andi: case Op::Ori: case Op::Xori:
+      case Op::Slli: case Op::Srli: case Op::Srai: case Op::Slti:
+      case Op::Ffs: case Op::Ext: case Op::Orfi: case Op::Andfi:
+        return {rs};
+      case Op::Ins:
+        return {rs, rd}; // Ins merges into the existing rd value
+      case Op::Ld:
+        return {rs};
+      case Op::Sd:
+        return {rs, rt}; // mem[rs + imm] = rt
+      case Op::Beq: case Op::Bne:
+        return {rs, rt};
+      case Op::Bbs: case Op::Bbc:
+        return {rs};
+      case Op::Send:
+        return {rs, rt};
+      default:
+        return {};
+    }
+}
+
+const char *
+opName(Op op)
+{
+    switch (op) {
+      case Op::Nop: return "nop";
+      case Op::Add: return "add";
+      case Op::Sub: return "sub";
+      case Op::And: return "and";
+      case Op::Or: return "or";
+      case Op::Xor: return "xor";
+      case Op::Sllv: return "sllv";
+      case Op::Srlv: return "srlv";
+      case Op::Slt: return "slt";
+      case Op::Sltu: return "sltu";
+      case Op::Addi: return "addi";
+      case Op::Andi: return "andi";
+      case Op::Ori: return "ori";
+      case Op::Xori: return "xori";
+      case Op::Slli: return "slli";
+      case Op::Srli: return "srli";
+      case Op::Srai: return "srai";
+      case Op::Slti: return "slti";
+      case Op::Ld: return "ld";
+      case Op::Sd: return "sd";
+      case Op::Beq: return "beq";
+      case Op::Bne: return "bne";
+      case Op::J: return "j";
+      case Op::Halt: return "halt";
+      case Op::Ffs: return "ffs";
+      case Op::Bbs: return "bbs";
+      case Op::Bbc: return "bbc";
+      case Op::Ext: return "ext";
+      case Op::Ins: return "ins";
+      case Op::Orfi: return "orfi";
+      case Op::Andfi: return "andfi";
+      case Op::Send: return "send";
+    }
+    return "?";
+}
+
+std::string
+Instr::toString() const
+{
+    std::ostringstream os;
+    os << opName(op);
+    switch (op) {
+      case Op::Nop:
+      case Op::Halt:
+        break;
+      case Op::J:
+        os << " ->" << imm;
+        break;
+      case Op::Beq:
+      case Op::Bne:
+        os << " r" << int(rs) << ", r" << int(rt) << " ->" << imm;
+        break;
+      case Op::Bbs:
+      case Op::Bbc:
+        os << " r" << int(rs) << "[" << int(lo) << "] ->" << imm;
+        break;
+      case Op::Ld:
+        os << " r" << int(rd) << ", " << imm << "(r" << int(rs) << ")";
+        break;
+      case Op::Sd:
+        os << " r" << int(rt) << ", " << imm << "(r" << int(rs) << ")";
+        break;
+      case Op::Ext:
+      case Op::Ins:
+      case Op::Orfi:
+      case Op::Andfi:
+        os << " r" << int(rd) << ", r" << int(rs) << ", <" << int(lo) << ","
+           << int(width) << ">";
+        break;
+      case Op::Send:
+        os << " type=" << imm << " dest=r" << int(rs) << " arg=r" << int(rt);
+        break;
+      default:
+        os << " r" << int(rd) << ", r" << int(rs);
+        if (srcRegs().size() > 1)
+            os << ", r" << int(rt);
+        if (imm)
+            os << ", " << imm;
+        break;
+    }
+    return os.str();
+}
+
+} // namespace flashsim::ppisa

@@ -1,0 +1,317 @@
+#include "ppisa/ppsim.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace flashsim::ppisa
+{
+
+std::string
+Program::toString() const
+{
+    std::ostringstream os;
+    os << name << " (" << pairs.size() << " pairs, " << codeBytes()
+       << " bytes)\n";
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+        os << "  " << i << ": [" << pairs[i].a.toString() << " | "
+           << pairs[i].b.toString() << "]\n";
+    }
+    return os.str();
+}
+
+std::uint64_t
+FlatPpMemory::load(Addr addr, Cycles &extra_cycles)
+{
+    extra_cycles = 0;
+    return peek(addr);
+}
+
+void
+FlatPpMemory::store(Addr addr, std::uint64_t value, Cycles &extra_cycles)
+{
+    extra_cycles = 0;
+    poke(addr, value);
+}
+
+std::uint64_t
+FlatPpMemory::peek(Addr addr) const
+{
+    for (const auto &kv : data_)
+        if (kv.first == addr)
+            return kv.second;
+    return 0;
+}
+
+void
+FlatPpMemory::poke(Addr addr, std::uint64_t value)
+{
+    for (auto &kv : data_) {
+        if (kv.first == addr) {
+            kv.second = value;
+            return;
+        }
+    }
+    data_.emplace_back(addr, value);
+}
+
+void
+RunStats::accumulate(const RunStats &other)
+{
+    cycles += other.cycles;
+    pairs += other.pairs;
+    instrs += other.instrs;
+    specials += other.specials;
+    aluBranch += other.aluBranch;
+    memStall += other.memStall;
+    invocations += other.invocations;
+}
+
+double
+RunStats::dualIssueEfficiency() const
+{
+    return pairs ? static_cast<double>(instrs) / pairs : 0.0;
+}
+
+double
+RunStats::specialFraction() const
+{
+    return aluBranch ? static_cast<double>(specials) / aluBranch : 0.0;
+}
+
+double
+RunStats::pairsPerInvocation() const
+{
+    return invocations ? static_cast<double>(pairs) / invocations : 0.0;
+}
+
+namespace
+{
+
+/** Per-slot execution result. */
+struct SlotResult
+{
+    int destReg = -1;
+    std::uint64_t destVal = 0;
+    bool branchTaken = false;
+    std::int64_t branchTarget = 0;
+};
+
+SlotResult
+execSlot(const Instr &in, RegFile &regs, PpMemory &mem,
+         std::vector<SentMessage> &sent, Cycles &stall)
+{
+    SlotResult r;
+    auto rs = [&] { return regs[in.rs]; };
+    auto rt = [&] { return regs[in.rt]; };
+    auto setDest = [&](std::uint64_t v) {
+        r.destReg = in.rd;
+        r.destVal = v;
+    };
+
+    switch (in.op) {
+      case Op::Nop:
+        break;
+      case Op::Add: setDest(rs() + rt()); break;
+      case Op::Sub: setDest(rs() - rt()); break;
+      case Op::And: setDest(rs() & rt()); break;
+      case Op::Or: setDest(rs() | rt()); break;
+      case Op::Xor: setDest(rs() ^ rt()); break;
+      case Op::Sllv: setDest(rs() << (rt() & 63)); break;
+      case Op::Srlv: setDest(rs() >> (rt() & 63)); break;
+      case Op::Slt:
+        setDest(static_cast<std::int64_t>(rs()) <
+                        static_cast<std::int64_t>(rt())
+                    ? 1
+                    : 0);
+        break;
+      case Op::Sltu: setDest(rs() < rt() ? 1 : 0); break;
+      case Op::Addi:
+        setDest(rs() + static_cast<std::uint64_t>(in.imm));
+        break;
+      case Op::Andi:
+        setDest(rs() & static_cast<std::uint64_t>(in.imm));
+        break;
+      case Op::Ori:
+        setDest(rs() | static_cast<std::uint64_t>(in.imm));
+        break;
+      case Op::Xori:
+        setDest(rs() ^ static_cast<std::uint64_t>(in.imm));
+        break;
+      case Op::Slli: setDest(rs() << (in.imm & 63)); break;
+      case Op::Srli: setDest(rs() >> (in.imm & 63)); break;
+      case Op::Srai:
+        setDest(static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(rs()) >> (in.imm & 63)));
+        break;
+      case Op::Slti:
+        setDest(static_cast<std::int64_t>(rs()) < in.imm ? 1 : 0);
+        break;
+      case Op::Ld: {
+        Cycles extra = 0;
+        std::uint64_t v =
+            mem.load(rs() + static_cast<std::uint64_t>(in.imm), extra);
+        stall += extra;
+        setDest(v);
+        break;
+      }
+      case Op::Sd: {
+        Cycles extra = 0;
+        mem.store(rs() + static_cast<std::uint64_t>(in.imm), rt(), extra);
+        stall += extra;
+        break;
+      }
+      case Op::Beq:
+        if (rs() == rt()) {
+            r.branchTaken = true;
+            r.branchTarget = in.imm;
+        }
+        break;
+      case Op::Bne:
+        if (rs() != rt()) {
+            r.branchTaken = true;
+            r.branchTarget = in.imm;
+        }
+        break;
+      case Op::J:
+        r.branchTaken = true;
+        r.branchTarget = in.imm;
+        break;
+      case Op::Halt:
+        break;
+      case Op::Ffs: {
+        std::uint64_t v = rs();
+        setDest(v == 0 ? 64 : static_cast<std::uint64_t>(
+                                  __builtin_ctzll(v)));
+        break;
+      }
+      case Op::Bbs:
+        if ((rs() >> in.lo) & 1) {
+            r.branchTaken = true;
+            r.branchTarget = in.imm;
+        }
+        break;
+      case Op::Bbc:
+        if (!((rs() >> in.lo) & 1)) {
+            r.branchTaken = true;
+            r.branchTarget = in.imm;
+        }
+        break;
+      case Op::Ext:
+        setDest((rs() >> in.lo) & fieldMask(0, in.width));
+        break;
+      case Op::Ins: {
+        std::uint64_t mask = fieldMask(in.lo, in.width);
+        setDest((regs[in.rd] & ~mask) | ((rs() << in.lo) & mask));
+        break;
+      }
+      case Op::Orfi:
+        setDest(rs() | fieldMask(in.lo, in.width));
+        break;
+      case Op::Andfi:
+        setDest(rs() & ~fieldMask(in.lo, in.width));
+        break;
+      case Op::Send:
+        sent.push_back(
+            SentMessage{static_cast<int>(in.imm), rs(), rt()});
+        break;
+    }
+    return r;
+}
+
+void
+countInstr(const Instr &in, RunStats &stats)
+{
+    if (in.isNop())
+        return;
+    ++stats.instrs;
+    if (in.isSpecial())
+        ++stats.specials;
+    if (in.isAluOrBranch())
+        ++stats.aluBranch;
+}
+
+} // namespace
+
+Cycles
+PpSim::run(const Program &prog, RegFile &regs, PpMemory &mem,
+           std::vector<SentMessage> &sent, RunStats &stats) const
+{
+    if (prog.pairs.empty())
+        panic("PpSim: empty program '%s'", prog.name.c_str());
+
+    Cycles cycles = 0;
+    std::size_t pc = 0;
+    // Registers written by loads in the previous pair: using them in the
+    // current pair violates the load-delay scheduling contract.
+    int prevLoadDest[2] = {-1, -1};
+
+    while (true) {
+        if (pc >= prog.pairs.size())
+            panic("PpSim: pc %zu out of range in '%s'", pc,
+                  prog.name.c_str());
+        const InstrPair &pair = prog.pairs[pc];
+
+        // Static-scheduling contract checks.
+        int dest_a = pair.a.destReg();
+        if (dest_a > 0) {
+            for (int src : pair.b.srcRegs())
+                if (src == dest_a)
+                    panic("PpSim: intra-pair RAW on r%d at pair %zu of "
+                          "'%s'", dest_a, pc, prog.name.c_str());
+            if (pair.b.destReg() == dest_a)
+                panic("PpSim: intra-pair WAW on r%d at pair %zu of '%s'",
+                      dest_a, pc, prog.name.c_str());
+        }
+        for (const Instr *in : {&pair.a, &pair.b}) {
+            for (int src : in->srcRegs()) {
+                if (src != 0 &&
+                    (src == prevLoadDest[0] || src == prevLoadDest[1])) {
+                    panic("PpSim: load-delay violation on r%d at pair %zu "
+                          "of '%s'", src, pc, prog.name.c_str());
+                }
+            }
+        }
+        if (pair.a.isBranch() && pair.b.isBranch())
+            panic("PpSim: two branches in pair %zu of '%s'", pc,
+                  prog.name.c_str());
+
+        Cycles stall = 0;
+        SlotResult ra = execSlot(pair.a, regs, mem, sent, stall);
+        SlotResult rb = execSlot(pair.b, regs, mem, sent, stall);
+        // Parallel write-back (no intra-pair deps, so order is moot).
+        if (ra.destReg > 0)
+            regs[ra.destReg] = ra.destVal;
+        if (rb.destReg > 0)
+            regs[rb.destReg] = rb.destVal;
+        regs[0] = 0;
+
+        countInstr(pair.a, stats);
+        countInstr(pair.b, stats);
+        ++stats.pairs;
+        cycles += 1 + stall;
+        stats.memStall += stall;
+
+        prevLoadDest[0] = pair.a.isLoad() ? pair.a.destReg() : -1;
+        prevLoadDest[1] = pair.b.isLoad() ? pair.b.destReg() : -1;
+
+        if (pair.a.op == Op::Halt || pair.b.op == Op::Halt)
+            break;
+        if (ra.branchTaken)
+            pc = static_cast<std::size_t>(ra.branchTarget);
+        else if (rb.branchTaken)
+            pc = static_cast<std::size_t>(rb.branchTarget);
+        else
+            ++pc;
+
+        if (cycles > kMaxCycles)
+            panic("PpSim: runaway handler '%s'", prog.name.c_str());
+    }
+
+    stats.cycles += cycles;
+    ++stats.invocations;
+    return cycles;
+}
+
+} // namespace flashsim::ppisa

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * PPsim: the instruction-set emulator for the MAGIC protocol processor.
+ *
+ * The paper (Section 3.3) integrates an instruction-set emulator for the
+ * PP with FlashLite so that protocol handler timing comes from executing
+ * the real handler code. This emulator plays that role: it executes
+ * scheduled dual-issue handler programs, reporting dynamic cycle counts
+ * and the instruction-usage statistics of Table 5.2, and routes all
+ * memory operations through a pluggable interface so the MAGIC data
+ * cache model can charge its 29-cycle miss penalty.
+ */
+
+#ifndef FLASHSIM_PPISA_PPSIM_HH_
+#define FLASHSIM_PPISA_PPSIM_HH_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ppisa/instruction.hh"
+#include "sim/types.hh"
+
+namespace flashsim::ppisa
+{
+
+/**
+ * A fully scheduled PP handler program.
+ *
+ * Branch targets are pair indices. Each pair executes in one PP cycle
+ * (plus any memory stall charged by the PpMemory implementation).
+ */
+struct Program
+{
+    std::string name;
+    std::vector<InstrPair> pairs;
+
+    /** Static code size in bytes (two 4-byte instruction words per pair),
+     *  NOP slots included, matching Table 5.2's "with NOPs" metric. */
+    std::size_t codeBytes() const { return pairs.size() * 8; }
+
+    std::string toString() const;
+};
+
+/**
+ * Memory seen by the PP: protocol data structures in main memory,
+ * accessed through the MAGIC data cache. Implementations return the
+ * extra stall cycles (0 on an MDC hit, the miss penalty otherwise).
+ */
+class PpMemory
+{
+  public:
+    virtual ~PpMemory() = default;
+    virtual std::uint64_t load(Addr addr, Cycles &extra_cycles) = 0;
+    virtual void store(Addr addr, std::uint64_t value,
+                       Cycles &extra_cycles) = 0;
+};
+
+/** Trivial PpMemory backed by a flat map; every access hits (0 stall). */
+class FlatPpMemory : public PpMemory
+{
+  public:
+    std::uint64_t load(Addr addr, Cycles &extra_cycles) override;
+    void store(Addr addr, std::uint64_t value,
+               Cycles &extra_cycles) override;
+
+    /** Direct (non-timed) backdoor access for test setup. */
+    std::uint64_t peek(Addr addr) const;
+    void poke(Addr addr, std::uint64_t value);
+
+  private:
+    std::vector<std::pair<Addr, std::uint64_t>> data_;
+};
+
+/** An outgoing message launched by a Send instruction. */
+struct SentMessage
+{
+    int type;           ///< protocol message type (Send immediate)
+    std::uint64_t dest; ///< destination (node id or interface code)
+    std::uint64_t arg;  ///< packed argument word (address + aux fields)
+
+    bool operator==(const SentMessage &) const = default;
+};
+
+/** Dynamic statistics from one or more handler executions. */
+struct RunStats
+{
+    Cycles cycles = 0;        ///< total PP cycles including memory stalls
+    std::uint64_t pairs = 0;  ///< dual-issue pairs executed
+    std::uint64_t instrs = 0; ///< non-NOP instructions executed
+    std::uint64_t specials = 0;   ///< special (FLASH-extension) instructions
+    std::uint64_t aluBranch = 0;  ///< ALU + branch instructions
+    std::uint64_t memStall = 0;   ///< cycles of MDC stall included in cycles
+    std::uint64_t invocations = 0; ///< handler invocations accumulated
+
+    void accumulate(const RunStats &other);
+
+    /** Table 5.2: non-NOP instructions per pair (2.0 is perfect). */
+    double dualIssueEfficiency() const;
+    /** Table 5.2: fraction of ALU/branch instructions that are special. */
+    double specialFraction() const;
+    /** Table 5.2: mean instruction pairs per handler invocation. */
+    double pairsPerInvocation() const;
+};
+
+/** Register file contents passed into / out of a handler run. */
+using RegFile = std::array<std::uint64_t, kNumRegs>;
+
+/**
+ * The PP emulator. Stateless between runs; all architectural state lives
+ * in the RegFile and PpMemory passed to run().
+ */
+class PpSim
+{
+  public:
+    /** Upper bound on cycles per handler; exceeded => runaway handler. */
+    static constexpr Cycles kMaxCycles = 1 << 20;
+
+    /**
+     * Execute @p prog from pair 0 until Halt.
+     *
+     * Enforces the PP's static-scheduling contract: an intra-pair
+     * dependency or a use of a load result in the pair immediately after
+     * the load is a panic (the real PP has no interlocks, so such code is
+     * simply broken).
+     *
+     * @param regs     register file (r0 forced to zero); updated in place.
+     * @param mem      protocol-data memory (MDC timing hook).
+     * @param sent     messages launched by Send, in order.
+     * @param stats    dynamic statistics, accumulated (not reset).
+     * @return cycles consumed by this invocation.
+     */
+    Cycles run(const Program &prog, RegFile &regs, PpMemory &mem,
+               std::vector<SentMessage> &sent, RunStats &stats) const;
+};
+
+} // namespace flashsim::ppisa
+
+#endif // FLASHSIM_PPISA_PPSIM_HH_

@@ -1,0 +1,222 @@
+#include "protocol/directory.hh"
+
+#include "ppisa/instruction.hh"
+#include "sim/logging.hh"
+
+namespace flashsim::protocol
+{
+
+using ppisa::fieldMask;
+namespace df = dirfield;
+
+DirHeader
+DirHeader::unpack(std::uint64_t w)
+{
+    DirHeader h;
+    h.dirty = (w >> df::kDirtyBit) & 1;
+    h.pending = (w >> df::kPendingBit) & 1;
+    h.head = static_cast<std::uint32_t>((w >> df::kHeadLo) &
+                                        fieldMask(0, df::kHeadWidth));
+    h.owner = static_cast<NodeId>((w >> df::kOwnerLo) &
+                                  fieldMask(0, df::kOwnerWidth));
+    return h;
+}
+
+std::uint64_t
+DirHeader::pack() const
+{
+    std::uint64_t w = 0;
+    w |= static_cast<std::uint64_t>(dirty) << df::kDirtyBit;
+    w |= static_cast<std::uint64_t>(pending) << df::kPendingBit;
+    w |= (static_cast<std::uint64_t>(head) & fieldMask(0, df::kHeadWidth))
+         << df::kHeadLo;
+    w |= (static_cast<std::uint64_t>(owner) & fieldMask(0, df::kOwnerWidth))
+         << df::kOwnerLo;
+    return w;
+}
+
+LinkEntry
+LinkEntry::unpack(std::uint64_t w)
+{
+    LinkEntry e;
+    e.node = static_cast<NodeId>(w & 0xffff);
+    e.next = static_cast<std::uint32_t>((w >> 16) & 0xffff);
+    return e;
+}
+
+std::uint64_t
+LinkEntry::pack() const
+{
+    return (static_cast<std::uint64_t>(node) & 0xffff) |
+           ((static_cast<std::uint64_t>(next) & 0xffff) << 16);
+}
+
+DirectoryStore::DirectoryStore(std::uint32_t pool_limit)
+    : poolLimit_(pool_limit)
+{
+    mirrorFreeHead();
+}
+
+std::uint64_t
+DirectoryStore::loadWord(Addr a) const
+{
+    auto it = words_.find(a);
+    return it == words_.end() ? 0 : it->second;
+}
+
+void
+DirectoryStore::storeWord(Addr a, std::uint64_t v)
+{
+    words_[a] = v;
+}
+
+DirHeader
+DirectoryStore::header(Addr line) const
+{
+    return DirHeader::unpack(loadWord(headerAddr(line)));
+}
+
+void
+DirectoryStore::setHeader(Addr line, const DirHeader &h)
+{
+    storeWord(headerAddr(line), h.pack());
+}
+
+LinkEntry
+DirectoryStore::link(std::uint32_t idx) const
+{
+    return LinkEntry::unpack(loadWord(linkAddr(idx)));
+}
+
+void
+DirectoryStore::setLink(std::uint32_t idx, const LinkEntry &e)
+{
+    storeWord(linkAddr(idx), e.pack());
+}
+
+std::uint32_t
+DirectoryStore::allocLink()
+{
+    std::uint32_t idx = freeHead_;
+    std::uint32_t next = link(idx).next;
+    if (next == 0) {
+        if (nextUnused_ >= poolLimit_)
+            fatal("DirectoryStore: sharer link pool exhausted (%u entries)",
+                  poolLimit_);
+        next = nextUnused_++;
+        setLink(next, LinkEntry{0, 0});
+    }
+    freeHead_ = next;
+    mirrorFreeHead();
+    ++liveLinks_;
+    return idx;
+}
+
+void
+DirectoryStore::freeLink(std::uint32_t idx)
+{
+    setLink(idx, LinkEntry{0, freeHead_});
+    freeHead_ = idx;
+    mirrorFreeHead();
+    --liveLinks_;
+}
+
+void
+DirectoryStore::mirrorFreeHead()
+{
+    // The free-list head lives at link index 0 so PP handler programs can
+    // load/store it like the real protocol does.
+    storeWord(linkAddr(0), freeHead_);
+}
+
+void
+DirectoryStore::addSharer(Addr line, NodeId node)
+{
+    DirHeader h = header(line);
+    std::uint32_t idx = allocLink();
+    setLink(idx, LinkEntry{node, h.head});
+    h.head = idx;
+    setHeader(line, h);
+}
+
+int
+DirectoryStore::removeSharer(Addr line, NodeId node)
+{
+    DirHeader h = header(line);
+    std::uint32_t idx = h.head;
+    std::uint32_t prev = 0;
+    int pos = 0;
+    while (idx != 0) {
+        LinkEntry e = link(idx);
+        if (e.node == node) {
+            if (prev == 0) {
+                h.head = e.next;
+                setHeader(line, h);
+            } else {
+                LinkEntry pe = link(prev);
+                pe.next = e.next;
+                setLink(prev, pe);
+            }
+            freeLink(idx);
+            return pos;
+        }
+        prev = idx;
+        idx = e.next;
+        ++pos;
+    }
+    return -1;
+}
+
+std::vector<NodeId>
+DirectoryStore::sharers(Addr line) const
+{
+    std::vector<NodeId> out;
+    std::uint32_t idx = header(line).head;
+    while (idx != 0) {
+        LinkEntry e = link(idx);
+        out.push_back(e.node);
+        idx = e.next;
+    }
+    return out;
+}
+
+bool
+DirectoryStore::isSharer(Addr line, NodeId node) const
+{
+    std::uint32_t idx = header(line).head;
+    while (idx != 0) {
+        LinkEntry e = link(idx);
+        if (e.node == node)
+            return true;
+        idx = e.next;
+    }
+    return false;
+}
+
+int
+DirectoryStore::countSharers(Addr line) const
+{
+    int n = 0;
+    std::uint32_t idx = header(line).head;
+    while (idx != 0) {
+        ++n;
+        idx = link(idx).next;
+    }
+    return n;
+}
+
+void
+DirectoryStore::clearSharers(Addr line)
+{
+    DirHeader h = header(line);
+    std::uint32_t idx = h.head;
+    while (idx != 0) {
+        std::uint32_t next = link(idx).next;
+        freeLink(idx);
+        idx = next;
+    }
+    h.head = 0;
+    setHeader(line, h);
+}
+
+} // namespace flashsim::protocol

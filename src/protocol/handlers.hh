@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Authoritative cache-coherence handler logic.
+ *
+ * Each MAGIC message type dispatches to one handler, mirroring the PP
+ * handler structure of the real machine. The C++ handlers here perform
+ * the authoritative directory state transition and tell MAGIC what to do
+ * (messages to launch, memory/cache operations to perform); their PP
+ * program counterparts in pp_programs.cc reproduce the same control flow
+ * for cycle-accurate timing, and a conformance test checks both agree.
+ *
+ * Race handling follows the NACK/retry discipline: requests that find
+ * the line in a transient state (owner not yet holding data, writeback
+ * in flight) are NACKed and retried by the requesting MAGIC. With the
+ * simulator's FIFO point-to-point message delivery this converges.
+ */
+
+#ifndef FLASHSIM_PROTOCOL_HANDLERS_HH_
+#define FLASHSIM_PROTOCOL_HANDLERS_HH_
+
+#include <cstdint>
+#include <vector>
+
+#include "protocol/directory.hh"
+#include "protocol/message.hh"
+#include "sim/types.hh"
+
+namespace flashsim::protocol
+{
+
+/** Maps physical addresses to their home node (page placement policy). */
+class AddressMap
+{
+  public:
+    virtual ~AddressMap() = default;
+    virtual NodeId homeOf(Addr addr) const = 0;
+};
+
+/** Lets home-node handlers probe their local processor cache state. */
+class CacheProbe
+{
+  public:
+    virtual ~CacheProbe() = default;
+    /** True if the local processor cache holds @p addr's line dirty. */
+    virtual bool holdsDirty(Addr addr) const = 0;
+};
+
+/** What an outgoing message's launch must wait for. */
+enum class Gate : std::uint8_t
+{
+    None,      ///< launch as soon as the handler completes
+    MemData,   ///< wait for local memory read data
+    CacheData, ///< wait for the local processor-cache retrieval
+};
+
+struct OutMsg
+{
+    Message msg;
+    Gate gate = Gate::None;
+};
+
+/**
+ * Handler identities for occupancy accounting (rows of Table 3.4 plus
+ * the small receive-side handlers the table does not list).
+ */
+enum class HandlerId : std::uint8_t
+{
+    ServeReadMemory,   ///< service read miss from main memory (11)
+    ServeWriteMemory,  ///< service write miss (14 + 10..15 per inval)
+    FwdToHome,         ///< requester-side forward of request (3)
+    FwdHomeToDirty,    ///< home forwards to dirty node (18)
+    RetrieveFromCache, ///< retrieve data from processor cache (38)
+    ReplyToProc,       ///< forward network reply to processor (2)
+    LocalWriteback,    ///< local writeback (10)
+    LocalHint,         ///< local replacement hint (7)
+    RemoteWriteback,   ///< writeback from a remote processor (8)
+    RemoteHintOnly,    ///< remote hint, only node on list (17)
+    RemoteHintNth,     ///< remote hint, Nth node (23 + 14N)
+    InvalReceive,      ///< invalidation request at a sharer
+    InvalAck,          ///< invalidation ack at the requester
+    SwbReceive,        ///< sharing writeback at home
+    OwnXferReceive,    ///< ownership transfer at home
+    NackReceive,       ///< NACK at the requester (schedule retry)
+    HomeNack,          ///< home NACKs a request in transient state
+    BlockXferReceive,  ///< message-passing chunk lands in local memory
+    BlockAckReceive,   ///< block-transfer completion at the sender
+    FetchOpService,    ///< fetch&op read-modify-write at home memory
+    FetchOpAck,        ///< fetch&op result back at the requester
+};
+
+/** Number of HandlerId values (for per-handler stat arrays). */
+inline constexpr int kNumHandlerIds = 21;
+
+const char *handlerIdName(HandlerId id);
+
+/** Result of running a handler: directives for MAGIC. */
+struct HandlerResult
+{
+    HandlerId id = HandlerId::ServeReadMemory;
+    int costParam = 0; ///< inval count / sharer-list position, as needed
+
+    std::vector<OutMsg> out;
+
+    bool memRead = false;   ///< handler needs local memory read data
+    bool memWrite = false;  ///< handler writes the line back to memory
+    bool cacheRetrieve = false;   ///< retrieve data from local proc cache
+    bool cacheInvalidate = false; ///< invalidate line in local proc cache
+    bool cacheSharing = false;    ///< downgrade local proc cache to shared
+    bool nackedRequest = false;   ///< request was NACKed (stats)
+};
+
+/**
+ * The per-node protocol engine: owns no timing, only state transitions.
+ */
+class ProtocolEngine
+{
+  public:
+    ProtocolEngine(NodeId self, DirectoryStore &dir, const AddressMap &map,
+                   const CacheProbe &probe)
+        : self_(self), dir_(dir), map_(map), probe_(probe)
+    {}
+
+    /** Dispatch @p msg to its handler and return MAGIC's directives. */
+    HandlerResult handle(const Message &msg);
+
+    NodeId self() const { return self_; }
+
+    // Individual handlers, public for direct unit testing. @p msg must be
+    // of the matching type and (for home handlers) homed at this node.
+    HandlerResult handleGetAtHome(const Message &msg);
+    HandlerResult handleGetxAtHome(const Message &msg);
+    HandlerResult handleRequestForward(const Message &msg);
+    HandlerResult handleFwdGet(const Message &msg);
+    HandlerResult handleFwdGetx(const Message &msg);
+    HandlerResult handleWritebackAtHome(const Message &msg);
+    HandlerResult handleReplaceHintAtHome(const Message &msg);
+    HandlerResult handleSwb(const Message &msg);
+    HandlerResult handleOwnXfer(const Message &msg);
+    HandlerResult handleInval(const Message &msg);
+    HandlerResult handleReply(const Message &msg);
+    HandlerResult handleBlockXfer(const Message &msg);
+    HandlerResult handleFetchOp(const Message &msg);
+
+  private:
+    Message make(MsgType type, NodeId dest, Addr addr, NodeId requester,
+                 std::uint32_t aux = 0) const;
+
+    NodeId self_;
+    DirectoryStore &dir_;
+    const AddressMap &map_;
+    const CacheProbe &probe_;
+};
+
+} // namespace flashsim::protocol
+
+#endif // FLASHSIM_PROTOCOL_HANDLERS_HH_

@@ -1,0 +1,77 @@
+#include "protocol/message.hh"
+
+#include <sstream>
+
+namespace flashsim::protocol
+{
+
+bool
+carriesData(MsgType t)
+{
+    switch (t) {
+      case MsgType::PiWriteback:
+      case MsgType::PiPut:
+      case MsgType::PiPutx:
+      case MsgType::NetPut:
+      case MsgType::NetPutx:
+      case MsgType::NetSwb:
+      case MsgType::NetWriteback:
+      case MsgType::NetBlockXfer:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isNetMsg(MsgType t)
+{
+    if (t == MsgType::PiFetchOp)
+        return false;
+    return static_cast<int>(t) >= static_cast<int>(MsgType::NetGet);
+}
+
+const char *
+msgTypeName(MsgType t)
+{
+    switch (t) {
+      case MsgType::PiGet: return "PiGet";
+      case MsgType::PiGetx: return "PiGetx";
+      case MsgType::PiWriteback: return "PiWriteback";
+      case MsgType::PiReplaceHint: return "PiReplaceHint";
+      case MsgType::PiPut: return "PiPut";
+      case MsgType::PiPutx: return "PiPutx";
+      case MsgType::PiInval: return "PiInval";
+      case MsgType::NetGet: return "NetGet";
+      case MsgType::NetGetx: return "NetGetx";
+      case MsgType::NetFwdGet: return "NetFwdGet";
+      case MsgType::NetFwdGetx: return "NetFwdGetx";
+      case MsgType::NetPut: return "NetPut";
+      case MsgType::NetPutx: return "NetPutx";
+      case MsgType::NetSwb: return "NetSwb";
+      case MsgType::NetOwnXfer: return "NetOwnXfer";
+      case MsgType::NetInval: return "NetInval";
+      case MsgType::NetInvalAck: return "NetInvalAck";
+      case MsgType::NetWriteback: return "NetWriteback";
+      case MsgType::NetReplaceHint: return "NetReplaceHint";
+      case MsgType::NetNack: return "NetNack";
+      case MsgType::NetBlockXfer: return "NetBlockXfer";
+      case MsgType::NetBlockAck: return "NetBlockAck";
+      case MsgType::PiFetchOp: return "PiFetchOp";
+      case MsgType::NetFetchOp: return "NetFetchOp";
+      case MsgType::NetFetchOpAck: return "NetFetchOpAck";
+    }
+    return "?";
+}
+
+std::string
+Message::toString() const
+{
+    std::ostringstream os;
+    os << msgTypeName(type) << " src=" << src << " dest=" << dest
+       << " req=" << requester << " addr=0x" << std::hex << addr << std::dec
+       << " aux=" << aux;
+    return os.str();
+}
+
+} // namespace flashsim::protocol

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * PP handler programs: the protocol handlers written in the PP IR.
+ *
+ * Each program mirrors the control flow of its authoritative C++
+ * counterpart in handlers.cc, performing the same directory-word loads
+ * and stores (through the MAGIC data cache) and launching the same
+ * outgoing messages via Send. PpTimingModel executes these against a
+ * shadow of the live directory to obtain cycle-accurate handler
+ * occupancies; the conformance test in tests/ checks message-level
+ * agreement with the C++ handlers across the protocol input space.
+ *
+ * Handler ABI (registers preloaded by the inbox before dispatch):
+ *   r1  message type          r2  line address
+ *   r3  source node           r4  message aux field
+ *   r5  original requester    r6  this node's id
+ *   r7  home node of address  r8  directory header word address
+ *   r9  link pool base        r10 local-cache-holds-dirty flag
+ *   r11 ack-table entry address for this line
+ *   r12 raw message argument word (packSendArg of addr/aux/requester)
+ */
+
+#ifndef FLASHSIM_PROTOCOL_PP_PROGRAMS_HH_
+#define FLASHSIM_PROTOCOL_PP_PROGRAMS_HH_
+
+#include <cstddef>
+#include <vector>
+
+#include "ppc/compiler.hh"
+#include "ppisa/ppsim.hh"
+#include "protocol/message.hh"
+
+namespace flashsim::protocol
+{
+
+/** Base of the per-line invalidation-ack counting table (staggered by
+ *  half the MDC sets; see kLinkPoolBase). */
+inline constexpr Addr kAckTableBase = (Addr{1} << 46) + 128 * 128;
+
+/** Ack-table entry address for a line (direct-mapped, 1024 entries). */
+constexpr Addr
+ackAddr(Addr addr)
+{
+    return kAckTableBase + (lineNumber(addr) % 1024) * 8;
+}
+
+/**
+ * The full set of compiled handler programs. The jump table dispatches
+ * on message type plus the inbox's address decode (local vs remote), so
+ * processor requests have distinct local-service and forward-to-home
+ * programs, exactly as the real protocol code does.
+ */
+struct HandlerPrograms
+{
+    ppisa::Program piGetLocal;   ///< PiGet serviced at home
+    ppisa::Program piGetRemote;  ///< PiGet forwarded to a remote home
+    ppisa::Program piGetxLocal;  ///< PiGetx serviced at home
+    ppisa::Program piGetxRemote; ///< PiGetx forwarded to a remote home
+    ppisa::Program piWbLocal;    ///< PiWriteback into local memory
+    ppisa::Program piWbRemote;   ///< PiWriteback forwarded to home
+    ppisa::Program piHintLocal;  ///< PiReplaceHint at home
+    ppisa::Program piHintRemote; ///< PiReplaceHint forwarded to home
+    ppisa::Program niGet;        ///< NetGet at home
+    ppisa::Program niGetx;       ///< NetGetx at home
+    ppisa::Program niFwdGet;     ///< NetFwdGet at the dirty owner
+    ppisa::Program niFwdGetx;    ///< NetFwdGetx at the dirty owner
+    ppisa::Program niSwb;        ///< NetSwb at home
+    ppisa::Program niOwnXfer;    ///< NetOwnXfer at home
+    ppisa::Program niInval;      ///< NetInval at a sharer
+    ppisa::Program niInvalAck;   ///< NetInvalAck at the requester
+    ppisa::Program niPut;        ///< NetPut at the requester
+    ppisa::Program niPutx;       ///< NetPutx at the requester
+    ppisa::Program niNack;       ///< NetNack at the requester
+    ppisa::Program niWb;         ///< NetWriteback at home
+    ppisa::Program niHint;       ///< NetReplaceHint at home
+    ppisa::Program niBlockXfer;  ///< block-transfer chunk (msg passing)
+    ppisa::Program niBlockAck;   ///< block-transfer completion
+    ppisa::Program niFetchOp;    ///< fetch&op service at home
+    ppisa::Program niFetchOpAck; ///< fetch&op result at the requester
+    ppisa::Program piFetchOpRemote; ///< fetch&op forwarded to home
+
+    /** Program dispatched for a message type (+ inbox address decode). */
+    const ppisa::Program &forMessage(MsgType t, bool at_home) const;
+
+    /** All programs, for code-size and toolchain statistics. */
+    std::vector<const ppisa::Program *> all() const;
+
+    /** Total static code size (Table 5.2 "static code size"). */
+    std::size_t totalCodeBytes() const;
+};
+
+/** Compile all handler programs with the given compiler options. */
+HandlerPrograms buildHandlerPrograms(const ppc::CompileOptions &opts = {});
+
+/**
+ * Prepare the handler-ABI register file for @p msg arriving at @p self.
+ */
+ppisa::RegFile makeHandlerRegs(const Message &msg, NodeId self, NodeId home,
+                               bool cache_dirty);
+
+/** Decode a PP Send back into a protocol message (for conformance). */
+Message decodeSent(const ppisa::SentMessage &s, NodeId self);
+
+} // namespace flashsim::protocol
+
+#endif // FLASHSIM_PROTOCOL_PP_PROGRAMS_HH_

@@ -1,0 +1,61 @@
+#include "sim/event_queue.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace flashsim
+{
+
+void
+EventQueue::schedule(Cycles delay, Callback cb)
+{
+    scheduleAt(_now + delay, std::move(cb));
+}
+
+void
+EventQueue::scheduleAt(Tick when, Callback cb)
+{
+    if (when < _now)
+        panic("event scheduled in the past (%llu < %llu)",
+              static_cast<unsigned long long>(when),
+              static_cast<unsigned long long>(_now));
+    events_.push(Event{when, nextSeq_++, std::move(cb)});
+}
+
+bool
+EventQueue::step()
+{
+    if (events_.empty())
+        return false;
+    // priority_queue::top() is const; move out via const_cast, which is
+    // safe because we pop immediately and never re-compare the element.
+    Event ev = std::move(const_cast<Event &>(events_.top()));
+    events_.pop();
+    _now = ev.when;
+    ev.cb();
+    return true;
+}
+
+std::uint64_t
+EventQueue::run(Tick limit)
+{
+    std::uint64_t executed = 0;
+    while (!events_.empty() && events_.top().when <= limit) {
+        step();
+        ++executed;
+    }
+    if (_now < limit && limit != ~Tick{0})
+        _now = limit;
+    return executed;
+}
+
+void
+EventQueue::reset()
+{
+    events_ = decltype(events_){};
+    _now = 0;
+    nextSeq_ = 0;
+}
+
+} // namespace flashsim

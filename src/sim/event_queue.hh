@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The event-driven simulation core.
+ *
+ * FlashLite (the paper's simulator) is a multi-threaded event-driven
+ * memory-system simulator. Here every hardware unit schedules closures on
+ * a single global-order EventQueue; ties are broken by insertion order so
+ * simulation is fully deterministic.
+ */
+
+#ifndef FLASHSIM_SIM_EVENT_QUEUE_HH_
+#define FLASHSIM_SIM_EVENT_QUEUE_HH_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace flashsim
+{
+
+/**
+ * Deterministic discrete-event queue.
+ *
+ * Events are arbitrary callables. Two events scheduled for the same tick
+ * run in the order they were scheduled (FIFO), which keeps hardware
+ * arbitration deterministic across runs.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulation time in system clock cycles. */
+    Tick now() const { return _now; }
+
+    /** Schedule @p cb to run @p delay cycles from now. */
+    void schedule(Cycles delay, Callback cb);
+
+    /** Schedule @p cb at absolute time @p when (must be >= now()). */
+    void scheduleAt(Tick when, Callback cb);
+
+    /** True when no events remain. */
+    bool empty() const { return events_.empty(); }
+
+    /** Number of pending events. */
+    std::size_t pending() const { return events_.size(); }
+
+    /**
+     * Run events until the queue drains or @p limit ticks have elapsed.
+     * @return number of events executed.
+     */
+    std::uint64_t run(Tick limit = ~Tick{0});
+
+    /** Execute exactly one event, if any; returns true if one ran. */
+    bool step();
+
+    /** Drop all pending events and reset time to zero. */
+    void reset();
+
+  private:
+    struct Event
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    Tick _now = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::priority_queue<Event, std::vector<Event>, Later> events_;
+};
+
+} // namespace flashsim
+
+#endif // FLASHSIM_SIM_EVENT_QUEUE_HH_

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Error and status reporting helpers, following the gem5 convention:
+ * panic() for simulator bugs, fatal() for user/configuration errors,
+ * warn()/inform() for non-fatal status.
+ */
+
+#ifndef FLASHSIM_SIM_LOGGING_HH_
+#define FLASHSIM_SIM_LOGGING_HH_
+
+#include <cstdarg>
+#include <string>
+
+namespace flashsim
+{
+
+/** Print a formatted message and abort(); use for internal invariant
+ *  violations (simulator bugs). */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a formatted message and exit(1); use for configuration errors. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a warning to stderr; simulation continues. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print an informational message to stderr; simulation continues. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Format a printf-style message into a std::string. */
+std::string vstrprintf(const char *fmt, std::va_list args);
+
+} // namespace flashsim
+
+#endif // FLASHSIM_SIM_LOGGING_HH_

@@ -1,0 +1,58 @@
+#include "sim/stats.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace flashsim
+{
+
+void
+Distribution::sample(double v)
+{
+    if (count_ == 0) {
+        min_ = max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    ++count_;
+    sum_ += v;
+    last_ = v;
+}
+
+void
+Distribution::reset()
+{
+    count_ = 0;
+    sum_ = min_ = max_ = 0.0;
+}
+
+double
+StatSet::get(const std::string &name) const
+{
+    auto it = values_.find(name);
+    if (it == values_.end())
+        panic("StatSet: unknown stat '%s'", name.c_str());
+    return it->second;
+}
+
+bool
+StatSet::has(const std::string &name) const
+{
+    return values_.find(name) != values_.end();
+}
+
+double
+pct(double num, double denom)
+{
+    return denom != 0.0 ? 100.0 * num / denom : 0.0;
+}
+
+double
+ratio(double num, double denom)
+{
+    return denom != 0.0 ? num / denom : 0.0;
+}
+
+} // namespace flashsim

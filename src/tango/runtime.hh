@@ -1,0 +1,224 @@
+/**
+ * @file
+ * The workload execution environment (Tango Lite analogue).
+ *
+ * Env is the per-processor handle a workload coroutine uses to touch
+ * the simulated machine: timed loads/stores, compute time, and
+ * synchronization primitives that generate real coherence traffic
+ * (test-and-test&set locks, sense-reversing counter barriers spinning
+ * on a flag line). Time spent inside synchronization is attributed to
+ * the Sync execution-time category.
+ */
+
+#ifndef FLASHSIM_TANGO_RUNTIME_HH_
+#define FLASHSIM_TANGO_RUNTIME_HH_
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "cpu/processor.hh"
+#include "sim/types.hh"
+#include "tango/task.hh"
+
+namespace flashsim::tango
+{
+
+class Env;
+
+/** Awaitable for a timed read or write. */
+struct MemAwaiter
+{
+    Env *env;
+    Addr addr;
+    bool isWrite;
+
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h);
+    void await_resume() const noexcept {}
+};
+
+/** Synchronous awaitable advancing compute time. */
+struct BusyAwaiter
+{
+    Env *env;
+    std::uint64_t instrs;
+
+    bool await_ready() noexcept;
+    void await_suspend(std::coroutine_handle<>) noexcept {}
+    void await_resume() const noexcept {}
+};
+
+/** A spin lock living on one cache line. */
+struct LockVar
+{
+    Addr addr = 0;
+    bool held = false; ///< host-side lock value
+    std::uint64_t acquisitions = 0;
+};
+
+/**
+ * Sense-reversing combining-tree barrier (two levels, arity 8).
+ *
+ * A flat counter barrier livelocks into NACK storms at 64 processors
+ * (every arrival fights for exclusive ownership of one line), so like
+ * real scalable machines the barrier combines within groups of eight
+ * before touching the root, and releases through per-group flag lines.
+ */
+struct BarrierVar
+{
+    static constexpr int kArity = 8;
+
+    struct Group
+    {
+        Addr countAddr = 0;
+        Addr flagAddr = 0;
+        int count = 0; ///< host-side arrival count
+        int size = 0;
+    };
+
+    /** Use MAGIC's uncached fetch&op for arrivals instead of cached
+     *  read-modify-write (no line ping-pong at all). */
+    bool useFetchOp = false;
+
+    std::vector<Group> groups;
+    Addr rootCountAddr = 0;
+    int rootCount = 0;
+    int gen = 0;     ///< host-side generation
+    int parties = 0; ///< number of processors participating
+    std::uint64_t episodes = 0;
+};
+
+/** Awaitable for a synchronous block send (waits for the ack). */
+struct BlockSendAwaiter
+{
+    Env *env;
+    NodeId dest;
+    Addr addr;
+    std::uint32_t bytes;
+
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h);
+    void await_resume() const noexcept;
+};
+
+/** Awaitable for receiving a block (returns the completion token). */
+struct BlockRecvAwaiter
+{
+    Env *env;
+
+    bool await_ready() const noexcept;
+    void await_suspend(std::coroutine_handle<> h);
+    Addr await_resume() const noexcept;
+};
+
+/** Awaitable for an uncached fetch&op round trip. */
+struct FetchOpAwaiter
+{
+    Env *env;
+    Addr addr;
+
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h);
+    void await_resume() const noexcept;
+};
+
+class Env
+{
+  public:
+    Env(cpu::Processor *proc, int id, int nprocs)
+        : proc_(proc), id_(id), nprocs_(nprocs)
+    {}
+
+    int id() const { return id_; }
+    int nprocs() const { return nprocs_; }
+    cpu::Processor &proc() { return *proc_; }
+
+    /** Timed read of the line containing @p addr (blocking). */
+    MemAwaiter read(Addr addr) { return MemAwaiter{this, addr, false}; }
+    /** Timed write (non-blocking, subject to MSHR limits). */
+    MemAwaiter write(Addr addr) { return MemAwaiter{this, addr, true}; }
+    /** Execute @p instrs instructions of compute. */
+    BusyAwaiter busy(std::uint64_t instrs)
+    {
+        return BusyAwaiter{this, instrs};
+    }
+
+    /** Acquire a test-and-test&set spin lock. */
+    Task lockAcquire(LockVar &l);
+    /** Release a lock (a single write to the lock line). */
+    Task lockRelease(LockVar &l);
+    /** Wait at a sense-reversing barrier. */
+    Task barrier(BarrierVar &b);
+
+    // -- Message passing (the FLASH block-transfer protocol) -------------
+    /** Synchronously send @p bytes starting at @p addr to node @p dest
+     *  as an uncached block transfer; resumes when the receiver's MAGIC
+     *  acknowledges the whole block. */
+    BlockSendAwaiter
+    sendBlock(NodeId dest, Addr addr, std::uint32_t bytes)
+    {
+        return BlockSendAwaiter{this, dest, addr, bytes};
+    }
+
+    /** Wait for the next incoming block transfer; returns the line
+     *  address of its final chunk. */
+    BlockRecvAwaiter recvBlock() { return BlockRecvAwaiter{this}; }
+
+    /**
+     * Uncached fetch&op on @p addr's home memory word: one round trip,
+     * no caching, no invalidation storm — FLASH's MAGIC performs the
+     * read-modify-write at the home node. The value itself is host
+     * state the caller updates on resume (like LL/SC direct execution).
+     */
+    FetchOpAwaiter fetchOp(Addr addr) { return FetchOpAwaiter{this, addr}; }
+
+    /** Node-side wiring: initiate a transfer on this node's MAGIC. */
+    std::function<void(NodeId, Addr, std::uint32_t, Tick)> blockSender;
+    /** Node-side wiring: issue a fetch&op through this node's MAGIC. */
+    std::function<void(Addr, Tick)> fetchOpSender;
+    /** Node-side wiring: a fetch&op this node issued completed. */
+    void notifyFetchOpDone(Addr addr);
+    /** Node-side wiring: a block finished arriving here. */
+    void notifyBlockReceived(Addr token);
+    /** Node-side wiring: a block this node sent was acknowledged. */
+    void notifyBlockAcked(Addr token);
+
+    bool inSync() const { return inSync_; }
+    void setInSync(bool v) { inSync_ = v; }
+
+  private:
+    friend struct BlockSendAwaiter;
+    friend struct BlockRecvAwaiter;
+    friend struct FetchOpAwaiter;
+
+    cpu::Processor *proc_;
+    int id_;
+    int nprocs_;
+    bool inSync_ = false;
+
+    std::vector<Addr> arrivedBlocks_;
+    std::coroutine_handle<> recvWaiter_;
+    std::coroutine_handle<> sendWaiter_;
+    std::coroutine_handle<> fetchOpWaiter_;
+};
+
+/** RAII-style toggle used by the sync primitives. */
+class SyncRegion
+{
+  public:
+    explicit SyncRegion(Env &env) : env_(env), prev_(env.inSync())
+    {
+        env_.setInSync(true);
+    }
+    ~SyncRegion() { env_.setInSync(prev_); }
+
+  private:
+    Env &env_;
+    bool prev_;
+};
+
+} // namespace flashsim::tango
+
+#endif // FLASHSIM_TANGO_RUNTIME_HH_

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Coroutine task type for workload programs.
+ *
+ * FlashLite was driven by Tango Lite, an event-driven reference
+ * generator executing the application per-processor. Here each
+ * simulated processor runs a C++20 coroutine issuing loads, stores and
+ * synchronization against the simulated memory system. Task supports
+ * composition (co_await a child task) with symmetric transfer, so
+ * synchronization primitives are themselves coroutines.
+ */
+
+#ifndef FLASHSIM_TANGO_TASK_HH_
+#define FLASHSIM_TANGO_TASK_HH_
+
+#include <coroutine>
+#include <cstdlib>
+#include <utility>
+
+namespace flashsim::tango
+{
+
+/** A lazily-started void coroutine with continuation chaining. */
+class Task
+{
+  public:
+    struct promise_type
+    {
+        std::coroutine_handle<> continuation = std::noop_coroutine();
+
+        Task
+        get_return_object()
+        {
+            return Task{
+                std::coroutine_handle<promise_type>::from_promise(*this)};
+        }
+
+        std::suspend_always initial_suspend() noexcept { return {}; }
+
+        struct FinalAwaiter
+        {
+            bool await_ready() noexcept { return false; }
+            std::coroutine_handle<>
+            await_suspend(std::coroutine_handle<promise_type> h) noexcept
+            {
+                return h.promise().continuation;
+            }
+            void await_resume() noexcept {}
+        };
+
+        FinalAwaiter final_suspend() noexcept { return {}; }
+        void return_void() {}
+        void unhandled_exception() { std::abort(); }
+    };
+
+    Task() = default;
+    explicit Task(std::coroutine_handle<promise_type> h) : h_(h) {}
+    Task(Task &&other) noexcept : h_(std::exchange(other.h_, nullptr)) {}
+    Task &
+    operator=(Task &&other) noexcept
+    {
+        if (this != &other) {
+            destroy();
+            h_ = std::exchange(other.h_, nullptr);
+        }
+        return *this;
+    }
+    Task(const Task &) = delete;
+    Task &operator=(const Task &) = delete;
+    ~Task() { destroy(); }
+
+    /** Start a root task (fire and keep; caller must keep Task alive). */
+    void
+    start()
+    {
+        h_.resume();
+    }
+
+    bool done() const { return !h_ || h_.done(); }
+
+    /** Awaiting a task starts it and resumes the parent on completion. */
+    auto
+    operator co_await() noexcept
+    {
+        struct Awaiter
+        {
+            std::coroutine_handle<promise_type> h;
+            bool await_ready() const noexcept { return !h || h.done(); }
+            std::coroutine_handle<>
+            await_suspend(std::coroutine_handle<> parent) noexcept
+            {
+                h.promise().continuation = parent;
+                return h;
+            }
+            void await_resume() const noexcept {}
+        };
+        return Awaiter{h_};
+    }
+
+  private:
+    void
+    destroy()
+    {
+        if (h_)
+            h_.destroy();
+        h_ = nullptr;
+    }
+
+    std::coroutine_handle<promise_type> h_;
+};
+
+} // namespace flashsim::tango
+
+#endif // FLASHSIM_TANGO_TASK_HH_

@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Processor cache tests, driven through a small Machine so fills,
+ * upgrades, evictions and interventions exercise the real protocol.
+ */
+
+#include <gtest/gtest.h>
+
+#include "machine/machine.hh"
+#include "machine/report.hh"
+
+namespace flashsim::machine
+{
+namespace
+{
+
+using cpu::Cache;
+
+TEST(CacheTest, ReadMissThenHit)
+{
+    MachineConfig cfg = MachineConfig::flash(2);
+    Machine mm(cfg);
+    Addr a = mm.alloc(kLineSize, 0);
+    mm.run([a](tango::Env &env) -> tango::Task {
+        co_await env.busy(0);
+        if (env.id() != 0)
+            co_return;
+        co_await env.read(a);
+        co_await env.read(a);
+        co_await env.read(a + 8); // same line
+    });
+    mm.drain();
+    const Cache &c = mm.node(0).cache();
+    EXPECT_EQ(c.reads, 3u);
+    EXPECT_EQ(c.readMisses, 1u);
+    EXPECT_EQ(c.state(a), Cache::State::Shared);
+}
+
+TEST(CacheTest, WriteMissGrantsExclusive)
+{
+    MachineConfig cfg = MachineConfig::flash(2);
+    Machine mm(cfg);
+    Addr a = mm.alloc(kLineSize, 0);
+    mm.run([a](tango::Env &env) -> tango::Task {
+        co_await env.busy(0);
+        if (env.id() != 0)
+            co_return;
+        co_await env.write(a);
+        co_await env.busy(40000);
+        co_await env.write(a); // hit
+    });
+    mm.drain();
+    const Cache &c = mm.node(0).cache();
+    EXPECT_EQ(c.writes, 2u);
+    EXPECT_EQ(c.writeMisses, 1u);
+    EXPECT_EQ(c.state(a), Cache::State::Exclusive);
+    EXPECT_TRUE(c.holdsDirty(a));
+}
+
+TEST(CacheTest, UpgradeDoesNotDuplicateLine)
+{
+    // Regression: a read fill followed by an upgrade fill must promote
+    // the existing way instead of installing a second copy.
+    MachineConfig cfg = MachineConfig::flash(2);
+    Machine mm(cfg);
+    Addr a = mm.alloc(kLineSize, 0);
+    mm.run([a](tango::Env &env) -> tango::Task {
+        co_await env.busy(0);
+        if (env.id() != 0)
+            co_return;
+        co_await env.read(a);
+        co_await env.write(a);
+        co_await env.busy(40000);
+        co_await env.write(a); // must be a hit on the Exclusive copy
+    });
+    mm.drain();
+    const Cache &c = mm.node(0).cache();
+    EXPECT_EQ(c.state(a), Cache::State::Exclusive);
+    EXPECT_EQ(c.writeMisses, 1u);
+    EXPECT_EQ(mm.node(0).magic().nacksSent, 0u);
+}
+
+TEST(CacheTest, DirtyLineMigratesAndDowngrades)
+{
+    MachineConfig cfg = MachineConfig::flash(2);
+    Machine mm(cfg);
+    Addr a = mm.alloc(kLineSize, 0);
+    mm.run([a](tango::Env &env) -> tango::Task {
+        co_await env.busy(0);
+        if (env.id() == 1) {
+            co_await env.write(a); // node 1 dirties the line
+        } else {
+            co_await env.busy(40000);
+            co_await env.read(a); // node 0 reads it back
+        }
+    });
+    mm.drain();
+    EXPECT_EQ(mm.node(1).cache().state(a), Cache::State::Shared);
+    EXPECT_EQ(mm.node(0).cache().state(a), Cache::State::Shared);
+    const auto &dir = mm.node(0).magic().directory();
+    EXPECT_FALSE(dir.header(a).dirty);
+    EXPECT_TRUE(dir.isSharer(a, 0));
+    EXPECT_TRUE(dir.isSharer(a, 1));
+}
+
+TEST(CacheTest, WriteInvalidatesOtherSharers)
+{
+    MachineConfig cfg = MachineConfig::flash(2);
+    Machine mm(cfg);
+    Addr a = mm.alloc(kLineSize, 0);
+    mm.run([a](tango::Env &env) -> tango::Task {
+        co_await env.busy(0);
+        co_await env.read(a); // both become sharers
+        co_await env.busy(40000);
+        if (env.id() == 1)
+            co_await env.write(a);
+    });
+    mm.drain();
+    EXPECT_EQ(mm.node(0).cache().state(a), Cache::State::Invalid);
+    EXPECT_EQ(mm.node(1).cache().state(a), Cache::State::Exclusive);
+    EXPECT_GE(mm.node(0).cache().invalsReceived, 1u);
+    const auto &dir = mm.node(0).magic().directory();
+    EXPECT_TRUE(dir.header(a).dirty);
+    EXPECT_EQ(dir.header(a).owner, 1u);
+}
+
+TEST(CacheTest, EvictionsSendWritebacksAndHints)
+{
+    MachineConfig cfg = MachineConfig::flash(2);
+    cfg.cache.sizeBytes = 4096; // 16 sets x 2 ways
+    Machine mm(cfg);
+    Addr base = mm.alloc(256 * kLineSize, 0);
+    mm.run([base](tango::Env &env) -> tango::Task {
+        co_await env.busy(0);
+        if (env.id() != 0)
+            co_return;
+        // Fill far beyond capacity: reads then dirty half of them.
+        for (int i = 0; i < 96; ++i)
+            co_await env.read(base + static_cast<Addr>(i) * kLineSize);
+        for (int i = 96; i < 128; ++i)
+            co_await env.write(base + static_cast<Addr>(i) * kLineSize);
+        for (int i = 0; i < 96; ++i)
+            co_await env.read(base + static_cast<Addr>(i) * kLineSize);
+    });
+    mm.drain();
+    const Cache &c = mm.node(0).cache();
+    EXPECT_GT(c.replaceHints, 0u);
+    EXPECT_GT(c.writebacks, 0u);
+    // After drain the directory's sharer lists reflect exactly the
+    // lines still resident.
+    const auto &dir = mm.node(0).magic().directory();
+    int resident = 0;
+    for (int i = 0; i < 128; ++i) {
+        Addr a = base + static_cast<Addr>(i) * kLineSize;
+        bool holds = c.state(a) != Cache::State::Invalid;
+        bool listed = dir.isSharer(a, 0) ||
+                      (dir.header(a).dirty && dir.header(a).owner == 0);
+        EXPECT_EQ(holds, listed) << "line " << i;
+        resident += holds;
+    }
+    EXPECT_LE(resident, 32); // capacity
+}
+
+TEST(CacheTest, MshrLimitsOutstandingWrites)
+{
+    MachineConfig cfg = MachineConfig::flash(2);
+    Machine mm(cfg);
+    Addr base = mm.alloc(16 * kLineSize, 0);
+    mm.run([base](tango::Env &env) -> tango::Task {
+        co_await env.busy(0);
+        if (env.id() != 0)
+            co_return;
+        // 8 back-to-back write misses: only 4 MSHRs, so the pipeline
+        // must stall at least once but all must complete.
+        for (int i = 0; i < 8; ++i)
+            co_await env.write(base + static_cast<Addr>(i) * kLineSize);
+    });
+    mm.drain();
+    const Cache &c = mm.node(0).cache();
+    EXPECT_EQ(c.writeMisses, 8u);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(c.state(base + static_cast<Addr>(i) * kLineSize),
+                  Cache::State::Exclusive);
+    const auto &bd = mm.node(0).proc().breakdown();
+    EXPECT_GT(bd.write, 0u); // MSHR-full stall was charged
+}
+
+TEST(CacheTest, NonBlockingWritesDoNotStall)
+{
+    MachineConfig cfg = MachineConfig::flash(2);
+    Machine mm(cfg);
+    Addr base = mm.alloc(16 * kLineSize, 0);
+    mm.run([base](tango::Env &env) -> tango::Task {
+        co_await env.busy(0);
+        if (env.id() != 0)
+            co_return;
+        // 3 writes to distinct sets: all fit in MSHRs, no stalls.
+        for (int i = 0; i < 3; ++i)
+            co_await env.write(base + static_cast<Addr>(i) * kLineSize);
+    });
+    mm.drain();
+    const auto &bd = mm.node(0).proc().breakdown();
+    EXPECT_EQ(bd.write, 0u);
+    EXPECT_EQ(bd.read, 0u);
+}
+
+TEST(CacheTest, ReadMergesIntoOutstandingWrite)
+{
+    MachineConfig cfg = MachineConfig::flash(2);
+    Machine mm(cfg);
+    Addr a = mm.alloc(kLineSize, 0);
+    mm.run([a](tango::Env &env) -> tango::Task {
+        co_await env.busy(0);
+        if (env.id() != 0)
+            co_return;
+        co_await env.write(a); // non-blocking GETX
+        co_await env.read(a);  // merges: blocks until the same fill
+    });
+    mm.drain();
+    const Cache &c = mm.node(0).cache();
+    EXPECT_EQ(c.readMisses, 1u);
+    EXPECT_EQ(c.writeMisses, 1u);
+    // Only one request reached the home node.
+    EXPECT_EQ(mm.node(0).magic().readClasses.total() +
+                  mm.node(0).magic().handlerCount[static_cast<int>(
+                      protocol::HandlerId::ServeWriteMemory)],
+              1u);
+    EXPECT_EQ(c.state(a), Cache::State::Exclusive);
+}
+
+TEST(CacheTest, InterventionCausesCacheContention)
+{
+    MachineConfig cfg = MachineConfig::flash(2);
+    Machine mm(cfg);
+    Addr a = mm.alloc(kLineSize, 0); // homed at 0
+    Addr b = mm.alloc(kLineSize, 0);
+    mm.run([a, b](tango::Env &env) -> tango::Task {
+        co_await env.busy(0);
+        if (env.id() == 0) {
+            co_await env.write(a); // dirty at home
+            co_await env.busy(40000);
+            // While node 1's GET retrieves from our cache, hammer it.
+            for (int i = 0; i < 2000; ++i) {
+                co_await env.read(b);
+                co_await env.busy(1);
+            }
+        } else {
+            co_await env.busy(40020);
+            co_await env.read(a); // intervention at node 0
+        }
+    });
+    mm.drain();
+    EXPECT_GT(mm.node(0).proc().breakdown().cont, 0u);
+}
+
+} // namespace
+} // namespace flashsim::machine

@@ -1,0 +1,193 @@
+/** @file Unit tests for the dynamic pointer allocation directory. */
+
+#include <gtest/gtest.h>
+
+#include "protocol/directory.hh"
+
+namespace flashsim::protocol
+{
+namespace
+{
+
+constexpr Addr kLine = 0x4000;
+
+TEST(DirHeader, PackUnpackRoundtrip)
+{
+    DirHeader h;
+    h.dirty = true;
+    h.pending = true;
+    h.head = 0x1234;
+    h.owner = 42;
+    DirHeader r = DirHeader::unpack(h.pack());
+    EXPECT_EQ(r.dirty, h.dirty);
+    EXPECT_EQ(r.pending, h.pending);
+    EXPECT_EQ(r.head, h.head);
+    EXPECT_EQ(r.owner, h.owner);
+}
+
+TEST(LinkEntry, PackUnpackRoundtrip)
+{
+    LinkEntry e{55, 0xbeef};
+    LinkEntry r = LinkEntry::unpack(e.pack());
+    EXPECT_EQ(r.node, e.node);
+    EXPECT_EQ(r.next, e.next);
+}
+
+TEST(DirectoryStore, EmptyLineHasNoSharers)
+{
+    DirectoryStore d;
+    EXPECT_EQ(d.countSharers(kLine), 0);
+    EXPECT_TRUE(d.sharers(kLine).empty());
+    EXPECT_FALSE(d.isSharer(kLine, 3));
+    DirHeader h = d.header(kLine);
+    EXPECT_FALSE(h.dirty);
+    EXPECT_EQ(h.head, 0u);
+}
+
+TEST(DirectoryStore, AddSharersPrepends)
+{
+    DirectoryStore d;
+    d.addSharer(kLine, 1);
+    d.addSharer(kLine, 2);
+    d.addSharer(kLine, 3);
+    EXPECT_EQ(d.countSharers(kLine), 3);
+    EXPECT_EQ(d.sharers(kLine), (std::vector<NodeId>{3, 2, 1}));
+    EXPECT_TRUE(d.isSharer(kLine, 2));
+    EXPECT_FALSE(d.isSharer(kLine, 9));
+    EXPECT_EQ(d.liveLinks(), 3u);
+}
+
+TEST(DirectoryStore, RemoveSharerReportsPosition)
+{
+    DirectoryStore d;
+    d.addSharer(kLine, 1);
+    d.addSharer(kLine, 2);
+    d.addSharer(kLine, 3); // list: 3, 2, 1
+    EXPECT_EQ(d.removeSharer(kLine, 3), 0);
+    EXPECT_EQ(d.removeSharer(kLine, 1), 1);
+    EXPECT_EQ(d.removeSharer(kLine, 7), -1);
+    EXPECT_EQ(d.sharers(kLine), (std::vector<NodeId>{2}));
+    EXPECT_EQ(d.liveLinks(), 1u);
+}
+
+TEST(DirectoryStore, RemoveMiddleRelinksList)
+{
+    DirectoryStore d;
+    for (NodeId n = 1; n <= 5; ++n)
+        d.addSharer(kLine, n); // 5 4 3 2 1
+    EXPECT_EQ(d.removeSharer(kLine, 3), 2);
+    EXPECT_EQ(d.sharers(kLine), (std::vector<NodeId>{5, 4, 2, 1}));
+}
+
+TEST(DirectoryStore, ClearSharersFreesEverything)
+{
+    DirectoryStore d;
+    for (NodeId n = 0; n < 16; ++n)
+        d.addSharer(kLine, n);
+    d.clearSharers(kLine);
+    EXPECT_EQ(d.countSharers(kLine), 0);
+    EXPECT_EQ(d.liveLinks(), 0u);
+}
+
+TEST(DirectoryStore, FreeListRecyclesEntries)
+{
+    DirectoryStore d;
+    d.addSharer(kLine, 1);
+    std::uint32_t first = d.header(kLine).head;
+    EXPECT_EQ(d.removeSharer(kLine, 1), 0);
+    d.addSharer(kLine, 2);
+    EXPECT_EQ(d.header(kLine).head, first); // same slot reused
+}
+
+TEST(DirectoryStore, TwoLinesIndependent)
+{
+    DirectoryStore d;
+    constexpr Addr other = kLine + kLineSize;
+    d.addSharer(kLine, 1);
+    d.addSharer(other, 2);
+    EXPECT_EQ(d.sharers(kLine), (std::vector<NodeId>{1}));
+    EXPECT_EQ(d.sharers(other), (std::vector<NodeId>{2}));
+}
+
+TEST(DirectoryStore, HeaderBitsIndependentOfList)
+{
+    DirectoryStore d;
+    d.addSharer(kLine, 4);
+    DirHeader h = d.header(kLine);
+    h.dirty = true;
+    h.owner = 4;
+    d.setHeader(kLine, h);
+    EXPECT_EQ(d.sharers(kLine), (std::vector<NodeId>{4}));
+    EXPECT_TRUE(d.header(kLine).dirty);
+}
+
+TEST(DirectoryStore, WordViewMatchesTypedView)
+{
+    DirectoryStore d;
+    d.addSharer(kLine, 9);
+    std::uint64_t w = d.loadWord(headerAddr(kLine));
+    DirHeader h = DirHeader::unpack(w);
+    EXPECT_EQ(h.head, d.header(kLine).head);
+    LinkEntry e = LinkEntry::unpack(d.loadWord(linkAddr(h.head)));
+    EXPECT_EQ(e.node, 9u);
+    EXPECT_EQ(e.next, 0u);
+}
+
+TEST(DirectoryStore, FreeHeadWordMirrored)
+{
+    DirectoryStore d;
+    // The word at link index 0 always holds the current free head.
+    std::uint64_t fh0 = d.loadWord(linkAddr(0));
+    EXPECT_NE(fh0, 0u);
+    d.addSharer(kLine, 1);
+    std::uint64_t fh1 = d.loadWord(linkAddr(0));
+    EXPECT_NE(fh0, fh1);
+}
+
+TEST(DirectoryStore, PoolExhaustionIsFatal)
+{
+    DirectoryStore d(4);
+    d.addSharer(kLine, 1);
+    d.addSharer(kLine, 2);
+    EXPECT_DEATH(
+        {
+            for (NodeId n = 3; n < 10; ++n)
+                d.addSharer(kLine, n);
+        },
+        "pool exhausted");
+}
+
+TEST(DirectoryStore, HeaderAddrGeometry)
+{
+    // 16 directory headers (8 bytes each) share one 128-byte MDC line,
+    // so headers for 2 KB of contiguous data live on one MDC line
+    // (Section 5.2).
+    Addr a0 = headerAddr(0);
+    Addr a1 = headerAddr(15 * kLineSize);
+    Addr a2 = headerAddr(16 * kLineSize);
+    EXPECT_EQ(a1 - a0, 15u * 8u);
+    EXPECT_EQ(a2 - a0, 16u * 8u);
+    EXPECT_EQ(a0 / 128, a1 / 128);
+    EXPECT_NE(a0 / 128, a2 / 128);
+}
+
+TEST(DirectoryStore, StressManyLinesAndSharers)
+{
+    DirectoryStore d;
+    for (int l = 0; l < 64; ++l) {
+        Addr line = static_cast<Addr>(l) * kLineSize;
+        for (NodeId n = 0; n < 16; ++n)
+            d.addSharer(line, n);
+    }
+    EXPECT_EQ(d.liveLinks(), 64u * 16u);
+    for (int l = 0; l < 64; ++l) {
+        Addr line = static_cast<Addr>(l) * kLineSize;
+        EXPECT_EQ(d.countSharers(line), 16);
+        for (NodeId n = 0; n < 16; ++n)
+            EXPECT_GE(d.removeSharer(line, n), 0);
+    }
+    EXPECT_EQ(d.liveLinks(), 0u);
+}
+
+} // namespace
+} // namespace flashsim::protocol

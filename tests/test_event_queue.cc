@@ -1,0 +1,139 @@
+/** @file Unit tests for the deterministic event queue. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace flashsim
+{
+namespace
+{
+
+TEST(EventQueue, StartsAtZero)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.pending(), 0u);
+}
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, SameTickIsFifo)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        eq.schedule(5, [&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, NestedScheduling)
+{
+    EventQueue eq;
+    std::vector<Tick> at;
+    eq.schedule(10, [&] {
+        at.push_back(eq.now());
+        eq.schedule(5, [&] { at.push_back(eq.now()); });
+    });
+    eq.run();
+    EXPECT_EQ(at, (std::vector<Tick>{10, 15}));
+}
+
+TEST(EventQueue, ZeroDelayRunsAtSameTick)
+{
+    EventQueue eq;
+    Tick seen = 999;
+    eq.schedule(7, [&] { eq.schedule(0, [&] { seen = eq.now(); }); });
+    eq.run();
+    EXPECT_EQ(seen, 7u);
+}
+
+TEST(EventQueue, RunWithLimitStopsAndAdvancesClock)
+{
+    EventQueue eq;
+    int ran = 0;
+    eq.schedule(10, [&] { ++ran; });
+    eq.schedule(100, [&] { ++ran; });
+    std::uint64_t n = eq.run(50);
+    EXPECT_EQ(n, 1u);
+    EXPECT_EQ(ran, 1);
+    EXPECT_EQ(eq.now(), 50u);
+    eq.run();
+    EXPECT_EQ(ran, 2);
+}
+
+TEST(EventQueue, StepExecutesExactlyOne)
+{
+    EventQueue eq;
+    int ran = 0;
+    eq.schedule(1, [&] { ++ran; });
+    eq.schedule(2, [&] { ++ran; });
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(ran, 1);
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(ran, 2);
+    EXPECT_FALSE(eq.step());
+}
+
+TEST(EventQueue, ScheduleAtAbsoluteTime)
+{
+    EventQueue eq;
+    Tick seen = 0;
+    eq.scheduleAt(42, [&] { seen = eq.now(); });
+    eq.run();
+    EXPECT_EQ(seen, 42u);
+}
+
+TEST(EventQueue, SchedulingInThePastPanics)
+{
+    EventQueue eq;
+    eq.schedule(10, [&] {
+        EXPECT_DEATH(eq.scheduleAt(5, [] {}), "past");
+    });
+    eq.run();
+}
+
+TEST(EventQueue, ResetClearsEverything)
+{
+    EventQueue eq;
+    int ran = 0;
+    eq.schedule(10, [&] { ++ran; });
+    eq.reset();
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.now(), 0u);
+    eq.run();
+    EXPECT_EQ(ran, 0);
+}
+
+TEST(EventQueue, ManyEventsStressOrdering)
+{
+    EventQueue eq;
+    Tick last = 0;
+    bool monotonic = true;
+    for (int i = 0; i < 10000; ++i)
+        eq.schedule(static_cast<Cycles>((i * 7919) % 1000), [&] {
+            if (eq.now() < last)
+                monotonic = false;
+            last = eq.now();
+        });
+    eq.run();
+    EXPECT_TRUE(monotonic);
+}
+
+} // namespace
+} // namespace flashsim

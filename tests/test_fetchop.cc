@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Tests for the uncached fetch&op primitive: single round trip at the
+ * home node, no coherence state, and a hot-counter contention
+ * comparison against cached read-modify-write.
+ */
+
+#include <gtest/gtest.h>
+
+#include "machine/machine.hh"
+
+namespace flashsim::machine
+{
+namespace
+{
+
+TEST(FetchOp, LocalRoundTrip)
+{
+    MachineConfig cfg = MachineConfig::flash(2);
+    Machine m(cfg);
+    Addr a = m.alloc(kLineSize, 0);
+    auto counter = std::make_shared<int>(0);
+    m.run([=](tango::Env &env) -> tango::Task {
+        co_await env.busy(0);
+        if (env.id() != 0)
+            co_return;
+        co_await env.fetchOp(a);
+        ++*counter;
+    });
+    m.drain();
+    EXPECT_EQ(*counter, 1);
+    // The service ran at home node 0 as one word-granular RMW.
+    using protocol::HandlerId;
+    EXPECT_EQ(m.node(0).magic().handlerCount[static_cast<int>(
+                  HandlerId::FetchOpService)], 1u);
+    EXPECT_EQ(m.node(0).magic().memory().rmws, 1u);
+}
+
+TEST(FetchOp, RemoteRoundTrip)
+{
+    MachineConfig cfg = MachineConfig::flash(2);
+    Machine m(cfg);
+    Addr a = m.alloc(kLineSize, 0);
+    auto done_at = std::make_shared<Tick>(0);
+    m.run([=](tango::Env &env) -> tango::Task {
+        co_await env.busy(0);
+        if (env.id() != 1)
+            co_return;
+        co_await env.fetchOp(a);
+        *done_at = env.proc().cursor();
+    });
+    m.drain();
+    // One network round trip plus the home memory access.
+    EXPECT_GT(*done_at, 2u * 22u);
+    EXPECT_LT(*done_at, 200u);
+    using protocol::HandlerId;
+    EXPECT_EQ(m.node(0).magic().handlerCount[static_cast<int>(
+                  HandlerId::FetchOpService)], 1u);
+    EXPECT_EQ(m.node(1).magic().handlerCount[static_cast<int>(
+                  HandlerId::FetchOpAck)], 1u);
+}
+
+TEST(FetchOp, LeavesNoCoherenceState)
+{
+    MachineConfig cfg = MachineConfig::flash(4);
+    Machine m(cfg);
+    Addr a = m.alloc(kLineSize, 0);
+    m.run([=](tango::Env &env) -> tango::Task {
+        co_await env.busy(0);
+        for (int i = 0; i < 4; ++i)
+            co_await env.fetchOp(a);
+    });
+    m.drain();
+    const auto &dir = m.node(0).magic().directory();
+    EXPECT_FALSE(dir.header(a).dirty);
+    EXPECT_EQ(dir.countSharers(a), 0);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(m.node(i).cache().state(a),
+                  cpu::Cache::State::Invalid);
+}
+
+TEST(FetchOp, HostCountExactUnderContention)
+{
+    MachineConfig cfg = MachineConfig::flash(8);
+    Machine m(cfg);
+    Addr a = m.alloc(kLineSize, 0);
+    auto counter = std::make_shared<int>(0);
+    m.run([=](tango::Env &env) -> tango::Task {
+        co_await env.busy(0);
+        for (int i = 0; i < 10; ++i) {
+            co_await env.fetchOp(a);
+            ++*counter; // host-side op applied on completion
+            co_await env.busy(32);
+        }
+    });
+    m.drain();
+    EXPECT_EQ(*counter, 80);
+    EXPECT_EQ(m.node(0).magic().nacksSent, 0u); // no coherence races
+}
+
+TEST(FetchOp, BeatsCachedRmwOnHotCounter)
+{
+    // Eight processors hammer one counter. Cached read-modify-write
+    // ping-pongs the line (invals, 3-hop transfers, NACK retries);
+    // fetch&op serializes cleanly at the home memory.
+    auto run_once = [](bool use_fetchop) {
+        MachineConfig cfg = MachineConfig::flash(8);
+        Machine m(cfg);
+        Addr a = m.alloc(kLineSize, 0);
+        m.run([=](tango::Env &env) -> tango::Task {
+            co_await env.busy(0);
+            for (int i = 0; i < 20; ++i) {
+                if (use_fetchop) {
+                    co_await env.fetchOp(a);
+                } else {
+                    co_await env.read(a);
+                    co_await env.write(a);
+                }
+                co_await env.busy(64);
+            }
+        });
+        return m.executionTime();
+    };
+    Tick cached = run_once(false);
+    Tick fop = run_once(true);
+    EXPECT_LT(fop, cached);
+}
+
+} // namespace
+} // namespace flashsim::machine

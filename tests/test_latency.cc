@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Table 3.3 reproduction tests: the no-contention read-miss latencies
+ * and PP occupancies of the five miss classes, for FLASH and the ideal
+ * machine. Bands are centered on the paper's numbers with tolerance for
+ * the model's composition (see EXPERIMENTS.md).
+ */
+
+#include <gtest/gtest.h>
+
+#include "machine/runner.hh"
+
+namespace flashsim::machine
+{
+namespace
+{
+
+class LatencyTest : public ::testing::Test
+{
+  protected:
+    static const ProbeResult &
+    flash()
+    {
+        static ProbeResult r =
+            probeMissLatencies(MachineConfig::flash(16));
+        return r;
+    }
+
+    static const ProbeResult &
+    ideal()
+    {
+        static ProbeResult r =
+            probeMissLatencies(MachineConfig::ideal(16));
+        return r;
+    }
+};
+
+TEST_F(LatencyTest, IdealLocalCleanMatchesPaperExactly)
+{
+    // 5 (detect) + 1 (bus) + 1 (PI in) + 1 (arb) + 14 (memory) + 2 (PI
+    // out, overlapped with arb+transit): Table 3.3 says 24.
+    EXPECT_EQ(ideal().latency.localClean, 24.0);
+}
+
+TEST_F(LatencyTest, FlashLocalCleanNearPaper)
+{
+    // Paper: 27. The jump table and outbox add a few cycles over ideal;
+    // the handler itself hides under the memory access.
+    EXPECT_GE(flash().latency.localClean, 25.0);
+    EXPECT_LE(flash().latency.localClean, 34.0);
+}
+
+TEST_F(LatencyTest, FlashAlwaysSlowerThanIdeal)
+{
+    const MissLatencies &f = flash().latency;
+    const MissLatencies &i = ideal().latency;
+    EXPECT_GT(f.localClean, i.localClean);
+    EXPECT_GT(f.localDirtyRemote, i.localDirtyRemote);
+    EXPECT_GT(f.remoteClean, i.remoteClean);
+    EXPECT_GT(f.remoteDirtyHome, i.remoteDirtyHome);
+    EXPECT_GT(f.remoteDirtyRemote, i.remoteDirtyRemote);
+}
+
+TEST_F(LatencyTest, ClassOrderingMatchesPaper)
+{
+    for (const MissLatencies *l : {&flash().latency, &ideal().latency}) {
+        EXPECT_LT(l->localClean, l->remoteClean);
+        EXPECT_LT(l->remoteClean, l->remoteDirtyRemote);
+        EXPECT_LT(l->localDirtyRemote, l->remoteDirtyRemote);
+        EXPECT_LE(l->localDirtyRemote, l->remoteDirtyHome + 10);
+    }
+}
+
+TEST_F(LatencyTest, FlashBandsNearPaper)
+{
+    const MissLatencies &f = flash().latency;
+    EXPECT_NEAR(f.localDirtyRemote, 143.0, 15.0);
+    EXPECT_NEAR(f.remoteClean, 111.0, 10.0);
+    EXPECT_NEAR(f.remoteDirtyHome, 145.0, 15.0);
+    EXPECT_NEAR(f.remoteDirtyRemote, 191.0, 20.0);
+}
+
+TEST_F(LatencyTest, IdealBandsNearPaper)
+{
+    const MissLatencies &i = ideal().latency;
+    EXPECT_NEAR(i.remoteClean, 92.0, 6.0);
+    // The dirty-class ideal latencies land ~10 cycles above the paper's
+    // values because we charge the requester-side receive tail that the
+    // paper's accounting appears to fold into the transfer (see
+    // EXPERIMENTS.md); the FLASH-ideal deltas are unaffected.
+    EXPECT_NEAR(i.localDirtyRemote, 100.0, 15.0);
+    EXPECT_NEAR(i.remoteDirtyHome, 100.0, 15.0);
+    EXPECT_NEAR(i.remoteDirtyRemote, 136.0, 15.0);
+}
+
+TEST_F(LatencyTest, FlexibilityDeltasMatchPaper)
+{
+    // The headline quantity: how much latency flexibility adds per
+    // class (paper: +3, +43, +19, +45, +55).
+    const MissLatencies &f = flash().latency;
+    const MissLatencies &i = ideal().latency;
+    EXPECT_NEAR(f.localClean - i.localClean, 3.0, 6.0);
+    EXPECT_NEAR(f.remoteClean - i.remoteClean, 19.0, 8.0);
+    EXPECT_NEAR(f.remoteDirtyHome - i.remoteDirtyHome, 45.0, 12.0);
+    EXPECT_NEAR(f.localDirtyRemote - i.localDirtyRemote, 43.0, 16.0);
+    EXPECT_NEAR(f.remoteDirtyRemote - i.remoteDirtyRemote, 55.0, 22.0);
+}
+
+TEST_F(LatencyTest, PpOccupanciesNearTable33)
+{
+    // Table 3.3 occupancy column: 11 / 53 / 16 / 53 / 61.
+    const MissLatencies &o = flash().ppOccupancy;
+    // Our sums include the sharing-writeback and reply-forward handlers
+    // of the full transaction, which the paper's table appears to fold
+    // elsewhere, so the dirty-class bands are wider.
+    EXPECT_NEAR(o.localClean, 11.0, 5.0);
+    EXPECT_NEAR(o.remoteClean, 16.0, 8.0);
+    EXPECT_NEAR(o.localDirtyRemote, 53.0, 28.0);
+    EXPECT_NEAR(o.remoteDirtyHome, 53.0, 18.0);
+    EXPECT_NEAR(o.remoteDirtyRemote, 61.0, 28.0);
+}
+
+TEST_F(LatencyTest, IdealHasZeroPpOccupancy)
+{
+    const MissLatencies &o = ideal().ppOccupancy;
+    EXPECT_EQ(o.localClean, 0.0);
+    EXPECT_EQ(o.remoteDirtyRemote, 0.0);
+}
+
+TEST_F(LatencyTest, CrmtWeightsDistribution)
+{
+    MissLatencies l;
+    l.localClean = 27;
+    l.remoteClean = 111;
+    ReadMissDistribution d;
+    d.localClean = 0.5;
+    d.remoteClean = 0.5;
+    EXPECT_DOUBLE_EQ(l.crmt(d), 69.0);
+}
+
+} // namespace
+} // namespace flashsim::machine

@@ -1,0 +1,110 @@
+/** @file Unit tests for the MAGIC data cache (MDC) model. */
+
+#include <gtest/gtest.h>
+
+#include "magic/magic_cache.hh"
+#include "protocol/directory.hh"
+
+namespace flashsim::magic
+{
+namespace
+{
+
+TEST(MagicCache, FirstAccessMissesThenHits)
+{
+    MagicCache c(64 * 1024, 2, 128);
+    EXPECT_FALSE(c.access(0x1000, false).hit);
+    EXPECT_TRUE(c.access(0x1000, false).hit);
+    EXPECT_TRUE(c.access(0x1008, false).hit); // same line
+    EXPECT_EQ(c.reads, 3u);
+    EXPECT_EQ(c.readMisses, 1u);
+}
+
+TEST(MagicCache, SixteenHeadersShareOneLine)
+{
+    // Section 5.2: each 128-byte MDC line holds 16 8-byte directory
+    // headers, i.e. the directory state of 2 KB of contiguous data.
+    MagicCache c(64 * 1024, 2, 128);
+    using protocol::headerAddr;
+    EXPECT_FALSE(c.access(headerAddr(0), false).hit);
+    for (int i = 1; i < 16; ++i)
+        EXPECT_TRUE(c.access(headerAddr(i * kLineSize), false).hit);
+    EXPECT_FALSE(c.access(headerAddr(16 * kLineSize), false).hit);
+}
+
+TEST(MagicCache, WriteSetsDirtyAndVictimWritesBack)
+{
+    MagicCache c(2 * 128, 1, 128); // 2 sets, direct mapped
+    c.access(0x0, true);           // set 0, dirty
+    MdcAccess a = c.access(0x100, false); // set 0, evicts dirty
+    EXPECT_FALSE(a.hit);
+    EXPECT_TRUE(a.victimWriteback);
+    EXPECT_EQ(c.writebacks, 1u);
+    MdcAccess b = c.access(0x200, false); // set 0 again, clean victim
+    EXPECT_FALSE(b.hit);
+    EXPECT_FALSE(b.victimWriteback);
+}
+
+TEST(MagicCache, LruReplacementWithinSet)
+{
+    MagicCache c(2 * 128, 2, 128); // 1 set, 2 ways
+    c.access(0x000, false);
+    c.access(0x080, false);
+    c.access(0x000, false);       // touch A
+    c.access(0x100, false);       // evicts B (LRU)
+    EXPECT_TRUE(c.access(0x000, false).hit);
+    EXPECT_FALSE(c.access(0x080, false).hit);
+}
+
+TEST(MagicCache, MissRateAccounting)
+{
+    MagicCache c(64 * 1024, 2, 128);
+    for (int i = 0; i < 10; ++i)
+        c.access(static_cast<Addr>(i) * 128, false);
+    for (int i = 0; i < 10; ++i)
+        c.access(static_cast<Addr>(i) * 128, true);
+    EXPECT_DOUBLE_EQ(c.missRate(), 0.5);
+    EXPECT_DOUBLE_EQ(c.readMissRate(), 1.0);
+    EXPECT_DOUBLE_EQ(c.writeMissRate(), 0.0);
+}
+
+TEST(MagicCache, FlushInvalidatesAll)
+{
+    MagicCache c(64 * 1024, 2, 128);
+    c.access(0x1000, false);
+    c.flush();
+    EXPECT_FALSE(c.access(0x1000, false).hit);
+}
+
+TEST(MagicCache, HighStrideThrashesLikeSection52)
+{
+    // A >2 KB stride over a large region touches a new header line per
+    // access: this is the pathological pattern of Section 5.2.
+    MagicCache c(64 * 1024, 2, 128);
+    using protocol::headerAddr;
+    int misses_before = static_cast<int>(c.readMisses);
+    for (int i = 0; i < 1024; ++i) {
+        // 4 KB stride in data space = 2 header lines apart.
+        c.access(headerAddr(static_cast<Addr>(i) * 4096), false);
+    }
+    int misses = static_cast<int>(c.readMisses) - misses_before;
+    EXPECT_GT(misses, 900); // nearly every access misses
+}
+
+TEST(MagicCache, UnitStrideBarelyMisses)
+{
+    MagicCache c(64 * 1024, 2, 128);
+    using protocol::headerAddr;
+    for (int i = 0; i < 1024; ++i)
+        c.access(headerAddr(static_cast<Addr>(i) * kLineSize), false);
+    // One miss per 16 headers.
+    EXPECT_EQ(c.readMisses, 1024u / 16u);
+}
+
+TEST(MagicCache, BadGeometryIsFatal)
+{
+    EXPECT_DEATH(MagicCache(100, 2, 128), "power of two");
+}
+
+} // namespace
+} // namespace flashsim::magic

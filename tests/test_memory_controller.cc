@@ -1,0 +1,63 @@
+/** @file Unit tests for the memory controller model. */
+
+#include <gtest/gtest.h>
+
+#include "memsys/memory_controller.hh"
+
+namespace flashsim::memsys
+{
+namespace
+{
+
+TEST(MemoryController, ReadReturnsAccessLatency)
+{
+    MemoryController mc(14, 16);
+    EXPECT_EQ(mc.read(100), 114u);
+    EXPECT_EQ(mc.reads, 1u);
+}
+
+TEST(MemoryController, BackToBackReadsSerialize)
+{
+    MemoryController mc(14, 16);
+    EXPECT_EQ(mc.read(0), 14u);
+    // Second read waits for the 16-cycle service interval.
+    EXPECT_EQ(mc.read(0), 16u + 14u);
+    EXPECT_EQ(mc.read(100), 114u); // idle again by then
+}
+
+TEST(MemoryController, WritesOccupyToo)
+{
+    MemoryController mc(14, 16);
+    mc.write(0);
+    EXPECT_EQ(mc.read(0), 16u + 14u);
+    EXPECT_EQ(mc.writes, 1u);
+}
+
+TEST(MemoryController, ProtocolAccessesCounted)
+{
+    MemoryController mc(14, 16);
+    mc.protocolAccess(0);
+    EXPECT_EQ(mc.protocolAccesses, 1u);
+    EXPECT_EQ(mc.read(0), 30u);
+}
+
+TEST(MemoryController, OccupancyAccumulates)
+{
+    MemoryController mc(14, 16);
+    mc.read(0);
+    mc.read(0);
+    mc.write(0);
+    EXPECT_EQ(mc.occ.busyCycles(), 48u);
+    EXPECT_DOUBLE_EQ(mc.occ.fraction(96), 0.5);
+}
+
+TEST(MemoryController, FreeAtTracksBusyWindow)
+{
+    MemoryController mc(14, 16);
+    EXPECT_EQ(mc.freeAt(), 0u);
+    mc.read(10);
+    EXPECT_EQ(mc.freeAt(), 26u);
+}
+
+} // namespace
+} // namespace flashsim::memsys

@@ -1,0 +1,113 @@
+/** @file Unit tests for the mesh network model. */
+
+#include <gtest/gtest.h>
+
+#include "network/mesh.hh"
+
+namespace flashsim::network
+{
+namespace
+{
+
+protocol::Message
+msg(NodeId src, NodeId dest, bool data = false)
+{
+    protocol::Message m;
+    m.type = data ? protocol::MsgType::NetPut : protocol::MsgType::NetGet;
+    m.src = src;
+    m.dest = dest;
+    m.requester = src;
+    m.addr = 0x1000;
+    return m;
+}
+
+TEST(MeshNetwork, SixteenNodeAverageIs22Cycles)
+{
+    // Section 3.2: 1 hop in + 2.6 hops + 1 hop out at 4 cycles/hop plus
+    // 3 header cycles = 22 cycles for 16 processors.
+    EventQueue eq;
+    MeshNetwork net(eq, 16);
+    EXPECT_EQ(net.side(), 4);
+    EXPECT_EQ(net.avgTransit(), 22u);
+}
+
+TEST(MeshNetwork, SixtyFourNodeAverageGrows)
+{
+    EventQueue eq;
+    MeshNetwork net(eq, 64);
+    EXPECT_EQ(net.side(), 8);
+    EXPECT_GT(net.avgTransit(), 22u);
+    EXPECT_LT(net.avgTransit(), 50u);
+}
+
+TEST(MeshNetwork, DeliversAfterTransit)
+{
+    EventQueue eq;
+    MeshNetwork net(eq, 16);
+    Tick delivered = 0;
+    net.connect(3, [&](const protocol::Message &) { delivered = eq.now(); });
+    eq.schedule(100, [&] { net.send(msg(0, 3)); });
+    eq.run();
+    EXPECT_EQ(delivered, 100u + net.avgTransit());
+}
+
+TEST(MeshNetwork, CountsDataMessages)
+{
+    EventQueue eq;
+    MeshNetwork net(eq, 4);
+    net.connect(1, [](const protocol::Message &) {});
+    net.send(msg(0, 1, false));
+    net.send(msg(0, 1, true));
+    eq.run();
+    EXPECT_EQ(net.messages, 2u);
+    EXPECT_EQ(net.dataMessages, 1u);
+}
+
+TEST(MeshNetwork, DistanceBasedTransit)
+{
+    EventQueue eq;
+    MeshParams p;
+    p.distanceBased = true;
+    MeshNetwork net(eq, 16, p);
+    // Corner to corner on a 4x4 mesh: 6 internal hops + 2 = 8 hops.
+    EXPECT_EQ(net.transit(0, 15), 4u * 8u + 3u);
+    // Adjacent nodes: 1 + 2 hops.
+    EXPECT_EQ(net.transit(0, 1), 4u * 3u + 3u);
+}
+
+TEST(MeshNetwork, FifoPerPair)
+{
+    EventQueue eq;
+    MeshNetwork net(eq, 4);
+    std::vector<Addr> order;
+    net.connect(1, [&](const protocol::Message &m) {
+        order.push_back(m.addr);
+    });
+    eq.schedule(0, [&] {
+        protocol::Message a = msg(0, 1);
+        a.addr = 1;
+        net.send(a);
+    });
+    eq.schedule(1, [&] {
+        protocol::Message b = msg(0, 1);
+        b.addr = 2;
+        net.send(b);
+    });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<Addr>{1, 2}));
+}
+
+TEST(MeshNetwork, UnconnectedDestinationPanics)
+{
+    EventQueue eq;
+    MeshNetwork net(eq, 4);
+    EXPECT_DEATH(
+        {
+            net.send(msg(0, 2));
+            eq.run();
+        },
+        "no receiver");
+}
+
+} // namespace
+} // namespace flashsim::network

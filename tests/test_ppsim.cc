@@ -1,0 +1,323 @@
+/** @file Unit tests for the PP instruction set emulator (PPsim). */
+
+#include <gtest/gtest.h>
+
+#include "ppisa/instruction.hh"
+#include "ppisa/ppsim.hh"
+
+namespace flashsim::ppisa
+{
+namespace
+{
+
+Instr
+rri(Op op, int rd, int rs, std::int64_t imm)
+{
+    Instr in;
+    in.op = op;
+    in.rd = static_cast<std::uint8_t>(rd);
+    in.rs = static_cast<std::uint8_t>(rs);
+    in.imm = imm;
+    return in;
+}
+
+Instr
+rrr(Op op, int rd, int rs, int rt)
+{
+    Instr in;
+    in.op = op;
+    in.rd = static_cast<std::uint8_t>(rd);
+    in.rs = static_cast<std::uint8_t>(rs);
+    in.rt = static_cast<std::uint8_t>(rt);
+    return in;
+}
+
+Instr
+field(Op op, int rd, int rs, unsigned lo, unsigned width)
+{
+    Instr in;
+    in.op = op;
+    in.rd = static_cast<std::uint8_t>(rd);
+    in.rs = static_cast<std::uint8_t>(rs);
+    in.lo = static_cast<std::uint8_t>(lo);
+    in.width = static_cast<std::uint8_t>(width);
+    return in;
+}
+
+Instr
+halt()
+{
+    Instr in;
+    in.op = Op::Halt;
+    return in;
+}
+
+Instr
+nop()
+{
+    return Instr{};
+}
+
+/** Run a single-issue program (each instruction in its own pair). */
+struct Runner
+{
+    RegFile regs{};
+    FlatPpMemory mem;
+    std::vector<SentMessage> sent;
+    RunStats stats;
+
+    Cycles
+    run(std::vector<Instr> instrs)
+    {
+        Program prog;
+        prog.name = "test";
+        // A NOP pair between consecutive instructions keeps load-delay
+        // and pairing rules trivially satisfied for semantic tests.
+        for (const Instr &i : instrs) {
+            prog.pairs.push_back(InstrPair{i, nop()});
+            prog.pairs.push_back(InstrPair{nop(), nop()});
+        }
+        // Rewrite branch targets (instruction index -> pair index).
+        for (auto &p : prog.pairs) {
+            if (p.a.isBranch())
+                p.a.imm *= 2;
+        }
+        prog.pairs.push_back(InstrPair{halt(), nop()});
+        PpSim sim;
+        return sim.run(prog, regs, mem, sent, stats);
+    }
+};
+
+TEST(PpSim, AluBasics)
+{
+    Runner r;
+    r.regs[1] = 7;
+    r.regs[2] = 5;
+    r.run({rrr(Op::Add, 3, 1, 2), rrr(Op::Sub, 4, 1, 2),
+           rrr(Op::And, 5, 1, 2), rrr(Op::Or, 6, 1, 2),
+           rrr(Op::Xor, 7, 1, 2)});
+    EXPECT_EQ(r.regs[3], 12u);
+    EXPECT_EQ(r.regs[4], 2u);
+    EXPECT_EQ(r.regs[5], 5u);
+    EXPECT_EQ(r.regs[6], 7u);
+    EXPECT_EQ(r.regs[7], 2u);
+}
+
+TEST(PpSim, Immediates)
+{
+    Runner r;
+    r.regs[1] = 0xf0;
+    r.run({rri(Op::Addi, 2, 1, 0x10), rri(Op::Andi, 3, 1, 0x30),
+           rri(Op::Ori, 4, 1, 0x0f), rri(Op::Xori, 5, 1, -1),
+           rri(Op::Slli, 6, 1, 4), rri(Op::Srli, 7, 1, 4)});
+    EXPECT_EQ(r.regs[2], 0x100u);
+    EXPECT_EQ(r.regs[3], 0x30u);
+    EXPECT_EQ(r.regs[4], 0xffu);
+    EXPECT_EQ(r.regs[5], ~std::uint64_t{0xf0});
+    EXPECT_EQ(r.regs[6], 0xf00u);
+    EXPECT_EQ(r.regs[7], 0xfu);
+}
+
+TEST(PpSim, SignedOps)
+{
+    Runner r;
+    r.regs[1] = static_cast<std::uint64_t>(-8);
+    r.run({rri(Op::Srai, 2, 1, 2), rri(Op::Slti, 3, 1, 0),
+           rri(Op::Slti, 4, 1, -10)});
+    EXPECT_EQ(static_cast<std::int64_t>(r.regs[2]), -2);
+    EXPECT_EQ(r.regs[3], 1u);
+    EXPECT_EQ(r.regs[4], 0u);
+}
+
+TEST(PpSim, R0IsHardZero)
+{
+    Runner r;
+    r.run({rri(Op::Addi, 0, 0, 99), rri(Op::Addi, 1, 0, 3)});
+    EXPECT_EQ(r.regs[0], 0u);
+    EXPECT_EQ(r.regs[1], 3u);
+}
+
+TEST(PpSim, LoadStore)
+{
+    Runner r;
+    r.regs[1] = 0x1000;
+    r.regs[2] = 0xdeadbeef;
+    r.run({rri(Op::Sd, 0, 1, 8), rri(Op::Ld, 3, 1, 8)});
+    // Sd encodes value in rt; build explicitly:
+    Runner r2;
+    r2.regs[1] = 0x1000;
+    r2.regs[2] = 0xdeadbeef;
+    Instr sd;
+    sd.op = Op::Sd;
+    sd.rs = 1;
+    sd.rt = 2;
+    sd.imm = 8;
+    r2.run({sd, rri(Op::Ld, 3, 1, 8)});
+    EXPECT_EQ(r2.regs[3], 0xdeadbeefu);
+}
+
+TEST(PpSim, FindFirstSet)
+{
+    Runner r;
+    r.regs[1] = 0x80;
+    r.regs[2] = 0;
+    r.regs[3] = 1;
+    r.run({rri(Op::Ffs, 4, 1, 0), rri(Op::Ffs, 5, 2, 0),
+           rri(Op::Ffs, 6, 3, 0)});
+    EXPECT_EQ(r.regs[4], 7u);
+    EXPECT_EQ(r.regs[5], 64u); // all-zero convention
+    EXPECT_EQ(r.regs[6], 0u);
+}
+
+TEST(PpSim, BitfieldExtractInsert)
+{
+    Runner r;
+    r.regs[1] = 0xabcd1234u;
+    r.regs[2] = 0x7;
+    r.regs[3] = 0xffffffffffffffffu;
+    r.run({field(Op::Ext, 4, 1, 8, 8), field(Op::Orfi, 5, 1, 32, 4),
+           field(Op::Andfi, 6, 3, 16, 16)});
+    EXPECT_EQ(r.regs[4], 0x12u);
+    EXPECT_EQ(r.regs[5], 0xfabcd1234u);
+    EXPECT_EQ(r.regs[6], 0xffffffff0000ffffu);
+
+    Runner r2;
+    r2.regs[1] = 0; // target of Ins
+    r2.regs[2] = 0x5;
+    Instr ins = field(Op::Ins, 1, 2, 16, 4);
+    r2.run({ins});
+    EXPECT_EQ(r2.regs[1], 0x50000u);
+}
+
+TEST(PpSim, BranchOnBit)
+{
+    // bbs r1[3] -> skip the addi
+    Instr b;
+    b.op = Op::Bbs;
+    b.rs = 1;
+    b.lo = 3;
+    b.imm = 2; // instruction index (Runner doubles it)
+    Runner r;
+    r.regs[1] = 0x8;
+    r.run({b, rri(Op::Addi, 2, 0, 1), rri(Op::Addi, 3, 0, 1)});
+    EXPECT_EQ(r.regs[2], 0u); // skipped
+    EXPECT_EQ(r.regs[3], 1u);
+
+    Runner r2;
+    r2.regs[1] = 0; // bit clear: fall through
+    r2.run({b, rri(Op::Addi, 2, 0, 1), rri(Op::Addi, 3, 0, 1)});
+    EXPECT_EQ(r2.regs[2], 1u);
+}
+
+TEST(PpSim, SendProducesMessages)
+{
+    Instr s;
+    s.op = Op::Send;
+    s.rs = 1; // dest
+    s.rt = 2; // arg
+    s.imm = 12;
+    Runner r;
+    r.regs[1] = 3;
+    r.regs[2] = 0xabc;
+    r.run({s, s});
+    ASSERT_EQ(r.sent.size(), 2u);
+    EXPECT_EQ(r.sent[0].type, 12);
+    EXPECT_EQ(r.sent[0].dest, 3u);
+    EXPECT_EQ(r.sent[0].arg, 0xabcu);
+}
+
+TEST(PpSim, StatsCountPairsAndInstrs)
+{
+    Runner r;
+    r.regs[1] = 1;
+    r.run({rrr(Op::Add, 2, 1, 1), field(Op::Ext, 3, 1, 0, 1)});
+    // 2 real instrs + 2 padding pairs + halt pair = 5 pairs
+    EXPECT_EQ(r.stats.pairs, 5u);
+    EXPECT_EQ(r.stats.instrs, 3u); // add, ext, halt is non-NOP
+    EXPECT_EQ(r.stats.specials, 1u);
+    EXPECT_EQ(r.stats.invocations, 1u);
+    EXPECT_GT(r.stats.dualIssueEfficiency(), 0.0);
+}
+
+TEST(PpSim, IntraPairRawPanics)
+{
+    Program prog;
+    prog.name = "bad";
+    InstrPair p;
+    p.a = rri(Op::Addi, 1, 0, 5);
+    p.b = rrr(Op::Add, 2, 1, 1); // reads r1 written by slot a
+    prog.pairs.push_back(p);
+    prog.pairs.push_back(InstrPair{halt(), nop()});
+    PpSim sim;
+    RegFile regs{};
+    FlatPpMemory mem;
+    std::vector<SentMessage> sent;
+    RunStats stats;
+    EXPECT_DEATH(sim.run(prog, regs, mem, sent, stats), "intra-pair");
+}
+
+TEST(PpSim, LoadDelayViolationPanics)
+{
+    Program prog;
+    prog.name = "bad2";
+    prog.pairs.push_back(InstrPair{rri(Op::Ld, 1, 0, 0), nop()});
+    prog.pairs.push_back(InstrPair{rrr(Op::Add, 2, 1, 1), nop()});
+    prog.pairs.push_back(InstrPair{halt(), nop()});
+    PpSim sim;
+    RegFile regs{};
+    FlatPpMemory mem;
+    std::vector<SentMessage> sent;
+    RunStats stats;
+    EXPECT_DEATH(sim.run(prog, regs, mem, sent, stats), "load-delay");
+}
+
+TEST(PpSim, MemoryStallsAccumulate)
+{
+    struct SlowMem : PpMemory
+    {
+        std::uint64_t
+        load(Addr, Cycles &extra) override
+        {
+            extra = 29;
+            return 0;
+        }
+        void
+        store(Addr, std::uint64_t, Cycles &extra) override
+        {
+            extra = 29;
+        }
+    };
+    Program prog;
+    prog.name = "slow";
+    prog.pairs.push_back(InstrPair{rri(Op::Ld, 1, 0, 0), nop()});
+    prog.pairs.push_back(InstrPair{nop(), nop()});
+    prog.pairs.push_back(InstrPair{halt(), nop()});
+    PpSim sim;
+    RegFile regs{};
+    SlowMem mem;
+    std::vector<SentMessage> sent;
+    RunStats stats;
+    Cycles c = sim.run(prog, regs, mem, sent, stats);
+    EXPECT_EQ(c, 3u + 29u);
+    EXPECT_EQ(stats.memStall, 29u);
+}
+
+TEST(PpSim, FieldMaskHelper)
+{
+    EXPECT_EQ(fieldMask(0, 4), 0xfu);
+    EXPECT_EQ(fieldMask(4, 4), 0xf0u);
+    EXPECT_EQ(fieldMask(0, 64), ~std::uint64_t{0});
+    EXPECT_EQ(fieldMask(63, 1), std::uint64_t{1} << 63);
+}
+
+TEST(PpSim, ProgramToStringContainsName)
+{
+    Program prog;
+    prog.name = "pi_get";
+    prog.pairs.push_back(InstrPair{halt(), nop()});
+    EXPECT_NE(prog.toString().find("pi_get"), std::string::npos);
+    EXPECT_EQ(prog.codeBytes(), 8u);
+}
+
+} // namespace
+} // namespace flashsim::ppisa

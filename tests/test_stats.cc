@@ -1,0 +1,99 @@
+/** @file Unit tests for statistics primitives. */
+
+#include <gtest/gtest.h>
+
+#include "sim/random.hh"
+#include "sim/stats.hh"
+
+namespace flashsim
+{
+namespace
+{
+
+TEST(Distribution, EmptyIsZero)
+{
+    Distribution d;
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_EQ(d.mean(), 0.0);
+    EXPECT_EQ(d.min(), 0.0);
+    EXPECT_EQ(d.max(), 0.0);
+}
+
+TEST(Distribution, TracksMoments)
+{
+    Distribution d;
+    d.sample(10);
+    d.sample(20);
+    d.sample(30);
+    EXPECT_EQ(d.count(), 3u);
+    EXPECT_DOUBLE_EQ(d.mean(), 20.0);
+    EXPECT_DOUBLE_EQ(d.min(), 10.0);
+    EXPECT_DOUBLE_EQ(d.max(), 30.0);
+    EXPECT_DOUBLE_EQ(d.last(), 30.0);
+}
+
+TEST(Distribution, ResetClears)
+{
+    Distribution d;
+    d.sample(5);
+    d.reset();
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_EQ(d.sum(), 0.0);
+}
+
+TEST(Occupancy, FractionOfInterval)
+{
+    Occupancy o;
+    o.addBusy(25);
+    o.addBusy(25);
+    EXPECT_DOUBLE_EQ(o.fraction(100), 0.5);
+    EXPECT_DOUBLE_EQ(o.fraction(0), 0.0);
+    EXPECT_EQ(o.busyCycles(), 50u);
+    o.reset();
+    EXPECT_EQ(o.busyCycles(), 0u);
+}
+
+TEST(Helpers, PctAndRatio)
+{
+    EXPECT_DOUBLE_EQ(pct(1, 4), 25.0);
+    EXPECT_DOUBLE_EQ(pct(1, 0), 0.0);
+    EXPECT_DOUBLE_EQ(ratio(3, 4), 0.75);
+    EXPECT_DOUBLE_EQ(ratio(3, 0), 0.0);
+}
+
+TEST(StatSet, SetGetHas)
+{
+    StatSet s;
+    s.set("x", 3.5);
+    EXPECT_TRUE(s.has("x"));
+    EXPECT_FALSE(s.has("y"));
+    EXPECT_DOUBLE_EQ(s.get("x"), 3.5);
+    EXPECT_DEATH(s.get("y"), "unknown stat");
+}
+
+TEST(Rng, DeterministicAndBounded)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+    Rng c(7);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_LT(c.below(17), 17u);
+        double u = c.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 3);
+}
+
+} // namespace
+} // namespace flashsim

@@ -1,0 +1,199 @@
+/** @file Unit tests for the handler timing models. */
+
+#include <gtest/gtest.h>
+
+#include "magic/timing_model.hh"
+
+namespace flashsim::magic
+{
+namespace
+{
+
+using protocol::DirectoryStore;
+using protocol::DirHeader;
+using protocol::HandlerId;
+using protocol::HandlerPrograms;
+using protocol::HandlerResult;
+using protocol::Message;
+using protocol::MsgType;
+
+Message
+msg(MsgType t, NodeId src, Addr addr, NodeId req, std::uint32_t aux = 0)
+{
+    Message m;
+    m.type = t;
+    m.src = src;
+    m.dest = 0;
+    m.requester = req;
+    m.addr = addr;
+    m.aux = aux;
+    return m;
+}
+
+TEST(TableTimingModel, MatchesTable34)
+{
+    EXPECT_EQ(TableTimingModel::cost(HandlerId::ServeReadMemory, 0), 11u);
+    EXPECT_EQ(TableTimingModel::cost(HandlerId::ServeWriteMemory, 0), 14u);
+    EXPECT_EQ(TableTimingModel::cost(HandlerId::ServeWriteMemory, 5),
+              14u + 5u * 13u);
+    EXPECT_EQ(TableTimingModel::cost(HandlerId::FwdToHome, 0), 3u);
+    EXPECT_EQ(TableTimingModel::cost(HandlerId::FwdHomeToDirty, 0), 18u);
+    EXPECT_EQ(TableTimingModel::cost(HandlerId::RetrieveFromCache, 0),
+              38u);
+    EXPECT_EQ(TableTimingModel::cost(HandlerId::ReplyToProc, 0), 2u);
+    EXPECT_EQ(TableTimingModel::cost(HandlerId::LocalWriteback, 0), 10u);
+    EXPECT_EQ(TableTimingModel::cost(HandlerId::LocalHint, 0), 7u);
+    EXPECT_EQ(TableTimingModel::cost(HandlerId::RemoteWriteback, 0), 8u);
+    EXPECT_EQ(TableTimingModel::cost(HandlerId::RemoteHintOnly, 0), 17u);
+    EXPECT_EQ(TableTimingModel::cost(HandlerId::RemoteHintNth, 2),
+              23u + 28u);
+}
+
+TEST(TableTimingModel, OccupancyUsesResult)
+{
+    TableTimingModel m;
+    HandlerResult res;
+    res.id = HandlerId::ServeWriteMemory;
+    res.costParam = 3;
+    HandlerTiming t =
+        m.occupancy(msg(MsgType::NetGetx, 1, 0, 1), res);
+    EXPECT_EQ(t.occupancy, 14u + 39u);
+    EXPECT_EQ(t.mdcMisses, 0u);
+}
+
+class PpTimingTest : public ::testing::Test
+{
+  protected:
+    PpTimingTest()
+        : programs(protocol::buildHandlerPrograms()),
+          model(programs, dir, params)
+    {}
+
+    /** Run preHandler/occupancy for a message at home node 0. */
+    HandlerTiming
+    time(const Message &m, HandlerId id, bool cache_dirty = false)
+    {
+        model.preHandler(m, 0, 0, cache_dirty);
+        HandlerResult res;
+        res.id = id;
+        res.cacheRetrieve = id == HandlerId::RetrieveFromCache;
+        return model.occupancy(m, res);
+    }
+
+    DirectoryStore dir;
+    MagicParams params;
+    HandlerPrograms programs;
+    PpTimingModel model;
+};
+
+TEST_F(PpTimingTest, ColdRunIncludesMdcAndMicPenalties)
+{
+    Message m = msg(MsgType::NetGet, 2, 0x2000, 2);
+    HandlerTiming t = time(m, HandlerId::ServeReadMemory);
+    EXPECT_TRUE(t.micColdMiss);
+    EXPECT_GT(t.mdcMisses, 0u);
+    EXPECT_GT(t.occupancy, params.micColdMiss);
+}
+
+TEST_F(PpTimingTest, WarmRunApproachesTable34)
+{
+    Message m = msg(MsgType::NetGet, 2, 0x2000, 2);
+    time(m, HandlerId::ServeReadMemory); // warm MIC + MDC
+    HandlerTiming t = time(m, HandlerId::ServeReadMemory);
+    EXPECT_FALSE(t.micColdMiss);
+    EXPECT_EQ(t.mdcMisses, 0u);
+    // Table 3.4 says 11 cycles for a read-miss service; the emulated
+    // handler must land in its neighborhood.
+    EXPECT_GE(t.occupancy, 8u);
+    EXPECT_LE(t.occupancy, 16u);
+}
+
+TEST_F(PpTimingTest, ShadowWritesDoNotTouchDirectory)
+{
+    Message m = msg(MsgType::NetGet, 2, 0x2000, 2);
+    time(m, HandlerId::ServeReadMemory);
+    // The PP program added a sharer in its shadow; the real directory
+    // must be untouched (the C++ handler is authoritative).
+    EXPECT_EQ(dir.countSharers(0x2000), 0);
+    EXPECT_FALSE(dir.header(0x2000).dirty);
+}
+
+TEST_F(PpTimingTest, CacheRetrieveAddsCoordinationCycles)
+{
+    // A forwarded GET arriving at the dirty owner: the handler directs
+    // the PI intervention ("retrieve data from processor cache",
+    // Table 3.4: 38 cycles).
+    Message m = msg(MsgType::NetFwdGet, 1, 0x2000, 2);
+    time(m, HandlerId::RetrieveFromCache, true); // warm
+    HandlerTiming t = time(m, HandlerId::RetrieveFromCache, true);
+    EXPECT_GE(t.occupancy, 32u);
+    EXPECT_LE(t.occupancy, 45u);
+}
+
+TEST_F(PpTimingTest, HintCostGrowsWithListPosition)
+{
+    // Hint for the node at position N walks N links (23 + 14N).
+    auto hint_cost = [&](int n_ahead) {
+        DirectoryStore d2;
+        PpTimingModel m2(programs, d2, params);
+        Addr line = 0x2000;
+        d2.addSharer(line, 9); // the node we remove (ends up deepest)
+        for (int i = 0; i < n_ahead; ++i)
+            d2.addSharer(line, static_cast<NodeId>(i + 1));
+        Message m = msg(MsgType::NetReplaceHint, 9, line, 9);
+        m2.preHandler(m, 0, 0, false); // warm
+        m2.preHandler(m, 0, 0, false);
+        HandlerResult res;
+        res.id = HandlerId::RemoteHintNth;
+        return m2.occupancy(m, res).occupancy;
+    };
+    Cycles c0 = hint_cost(0);
+    Cycles c2 = hint_cost(2);
+    Cycles c5 = hint_cost(5);
+    EXPECT_GT(c2, c0);
+    EXPECT_GT(c5, c2);
+    // Roughly linear growth.
+    Cycles per_link = (c5 - c2) / 3;
+    EXPECT_GE(per_link, 4u);
+    EXPECT_LE(per_link, 20u);
+}
+
+TEST_F(PpTimingTest, StatsAccumulateAcrossRuns)
+{
+    Message m = msg(MsgType::NetGet, 2, 0x2000, 2);
+    time(m, HandlerId::ServeReadMemory);
+    time(m, HandlerId::ServeReadMemory);
+    EXPECT_EQ(model.runStats().invocations, 2u);
+    EXPECT_GT(model.runStats().pairs, 0u);
+    EXPECT_GT(model.runStats().specialFraction(), 0.0);
+}
+
+TEST_F(PpTimingTest, GetxOccupancyScalesWithInvalidations)
+{
+    auto getx_cost = [&](int sharers) {
+        DirectoryStore d2;
+        PpTimingModel m2(programs, d2, params);
+        Addr line = 0x2000;
+        for (int i = 0; i < sharers; ++i)
+            d2.addSharer(line, static_cast<NodeId>(i + 3));
+        Message m = msg(MsgType::NetGetx, 2, line, 2);
+        m2.preHandler(m, 0, 0, false);
+        HandlerResult res;
+        res.id = HandlerId::ServeWriteMemory;
+        res.costParam = sharers;
+        Cycles warm_cold = m2.occupancy(m, res).occupancy;
+        (void)warm_cold;
+        // Re-prime the directory (the shadow discarded the walk).
+        m2.preHandler(m, 0, 0, false);
+        return m2.occupancy(m, res).occupancy;
+    };
+    Cycles c1 = getx_cost(1);
+    Cycles c4 = getx_cost(4);
+    // Table 3.4: 10-15 extra cycles per invalidation.
+    Cycles per_inval = (c4 - c1) / 3;
+    EXPECT_GE(per_inval, 7u);
+    EXPECT_LE(per_inval, 18u);
+}
+
+} // namespace
+} // namespace flashsim::magic
