@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fetchop.dir/bench_fetchop.cc.o"
+  "CMakeFiles/bench_fetchop.dir/bench_fetchop.cc.o.d"
+  "bench_fetchop"
+  "bench_fetchop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fetchop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

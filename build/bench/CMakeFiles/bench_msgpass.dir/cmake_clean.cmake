@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_msgpass.dir/bench_msgpass.cc.o"
+  "CMakeFiles/bench_msgpass.dir/bench_msgpass.cc.o.d"
+  "bench_msgpass"
+  "bench_msgpass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_msgpass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flashsim_cli.dir/flashsim_cli.cpp.o"
+  "CMakeFiles/flashsim_cli.dir/flashsim_cli.cpp.o.d"
+  "flashsim_cli"
+  "flashsim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flashsim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

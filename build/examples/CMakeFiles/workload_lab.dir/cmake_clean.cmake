@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_lab.dir/workload_lab.cpp.o"
+  "CMakeFiles/workload_lab.dir/workload_lab.cpp.o.d"
+  "workload_lab"
+  "workload_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

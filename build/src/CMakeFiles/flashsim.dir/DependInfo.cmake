@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/barnes.cc" "src/CMakeFiles/flashsim.dir/apps/barnes.cc.o" "gcc" "src/CMakeFiles/flashsim.dir/apps/barnes.cc.o.d"
+  "/root/repo/src/apps/fft.cc" "src/CMakeFiles/flashsim.dir/apps/fft.cc.o" "gcc" "src/CMakeFiles/flashsim.dir/apps/fft.cc.o.d"
+  "/root/repo/src/apps/lu.cc" "src/CMakeFiles/flashsim.dir/apps/lu.cc.o" "gcc" "src/CMakeFiles/flashsim.dir/apps/lu.cc.o.d"
+  "/root/repo/src/apps/mp3d.cc" "src/CMakeFiles/flashsim.dir/apps/mp3d.cc.o" "gcc" "src/CMakeFiles/flashsim.dir/apps/mp3d.cc.o.d"
+  "/root/repo/src/apps/ocean.cc" "src/CMakeFiles/flashsim.dir/apps/ocean.cc.o" "gcc" "src/CMakeFiles/flashsim.dir/apps/ocean.cc.o.d"
+  "/root/repo/src/apps/os_workload.cc" "src/CMakeFiles/flashsim.dir/apps/os_workload.cc.o" "gcc" "src/CMakeFiles/flashsim.dir/apps/os_workload.cc.o.d"
+  "/root/repo/src/apps/radix.cc" "src/CMakeFiles/flashsim.dir/apps/radix.cc.o" "gcc" "src/CMakeFiles/flashsim.dir/apps/radix.cc.o.d"
+  "/root/repo/src/apps/workload.cc" "src/CMakeFiles/flashsim.dir/apps/workload.cc.o" "gcc" "src/CMakeFiles/flashsim.dir/apps/workload.cc.o.d"
+  "/root/repo/src/cpu/cache.cc" "src/CMakeFiles/flashsim.dir/cpu/cache.cc.o" "gcc" "src/CMakeFiles/flashsim.dir/cpu/cache.cc.o.d"
+  "/root/repo/src/cpu/processor.cc" "src/CMakeFiles/flashsim.dir/cpu/processor.cc.o" "gcc" "src/CMakeFiles/flashsim.dir/cpu/processor.cc.o.d"
+  "/root/repo/src/machine/machine.cc" "src/CMakeFiles/flashsim.dir/machine/machine.cc.o" "gcc" "src/CMakeFiles/flashsim.dir/machine/machine.cc.o.d"
+  "/root/repo/src/machine/node.cc" "src/CMakeFiles/flashsim.dir/machine/node.cc.o" "gcc" "src/CMakeFiles/flashsim.dir/machine/node.cc.o.d"
+  "/root/repo/src/machine/report.cc" "src/CMakeFiles/flashsim.dir/machine/report.cc.o" "gcc" "src/CMakeFiles/flashsim.dir/machine/report.cc.o.d"
+  "/root/repo/src/machine/runner.cc" "src/CMakeFiles/flashsim.dir/machine/runner.cc.o" "gcc" "src/CMakeFiles/flashsim.dir/machine/runner.cc.o.d"
+  "/root/repo/src/magic/jump_table.cc" "src/CMakeFiles/flashsim.dir/magic/jump_table.cc.o" "gcc" "src/CMakeFiles/flashsim.dir/magic/jump_table.cc.o.d"
+  "/root/repo/src/magic/magic.cc" "src/CMakeFiles/flashsim.dir/magic/magic.cc.o" "gcc" "src/CMakeFiles/flashsim.dir/magic/magic.cc.o.d"
+  "/root/repo/src/magic/magic_cache.cc" "src/CMakeFiles/flashsim.dir/magic/magic_cache.cc.o" "gcc" "src/CMakeFiles/flashsim.dir/magic/magic_cache.cc.o.d"
+  "/root/repo/src/magic/timing_model.cc" "src/CMakeFiles/flashsim.dir/magic/timing_model.cc.o" "gcc" "src/CMakeFiles/flashsim.dir/magic/timing_model.cc.o.d"
+  "/root/repo/src/network/mesh.cc" "src/CMakeFiles/flashsim.dir/network/mesh.cc.o" "gcc" "src/CMakeFiles/flashsim.dir/network/mesh.cc.o.d"
+  "/root/repo/src/ppc/compiler.cc" "src/CMakeFiles/flashsim.dir/ppc/compiler.cc.o" "gcc" "src/CMakeFiles/flashsim.dir/ppc/compiler.cc.o.d"
+  "/root/repo/src/ppc/expand.cc" "src/CMakeFiles/flashsim.dir/ppc/expand.cc.o" "gcc" "src/CMakeFiles/flashsim.dir/ppc/expand.cc.o.d"
+  "/root/repo/src/ppc/ir.cc" "src/CMakeFiles/flashsim.dir/ppc/ir.cc.o" "gcc" "src/CMakeFiles/flashsim.dir/ppc/ir.cc.o.d"
+  "/root/repo/src/ppc/schedule.cc" "src/CMakeFiles/flashsim.dir/ppc/schedule.cc.o" "gcc" "src/CMakeFiles/flashsim.dir/ppc/schedule.cc.o.d"
+  "/root/repo/src/ppisa/instruction.cc" "src/CMakeFiles/flashsim.dir/ppisa/instruction.cc.o" "gcc" "src/CMakeFiles/flashsim.dir/ppisa/instruction.cc.o.d"
+  "/root/repo/src/ppisa/ppsim.cc" "src/CMakeFiles/flashsim.dir/ppisa/ppsim.cc.o" "gcc" "src/CMakeFiles/flashsim.dir/ppisa/ppsim.cc.o.d"
+  "/root/repo/src/protocol/directory.cc" "src/CMakeFiles/flashsim.dir/protocol/directory.cc.o" "gcc" "src/CMakeFiles/flashsim.dir/protocol/directory.cc.o.d"
+  "/root/repo/src/protocol/handlers.cc" "src/CMakeFiles/flashsim.dir/protocol/handlers.cc.o" "gcc" "src/CMakeFiles/flashsim.dir/protocol/handlers.cc.o.d"
+  "/root/repo/src/protocol/message.cc" "src/CMakeFiles/flashsim.dir/protocol/message.cc.o" "gcc" "src/CMakeFiles/flashsim.dir/protocol/message.cc.o.d"
+  "/root/repo/src/protocol/pp_programs.cc" "src/CMakeFiles/flashsim.dir/protocol/pp_programs.cc.o" "gcc" "src/CMakeFiles/flashsim.dir/protocol/pp_programs.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/flashsim.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/flashsim.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/logging.cc" "src/CMakeFiles/flashsim.dir/sim/logging.cc.o" "gcc" "src/CMakeFiles/flashsim.dir/sim/logging.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/CMakeFiles/flashsim.dir/sim/stats.cc.o" "gcc" "src/CMakeFiles/flashsim.dir/sim/stats.cc.o.d"
+  "/root/repo/src/tango/runtime.cc" "src/CMakeFiles/flashsim.dir/tango/runtime.cc.o" "gcc" "src/CMakeFiles/flashsim.dir/tango/runtime.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_apps.cc" "tests/CMakeFiles/flashsim_tests.dir/test_apps.cc.o" "gcc" "tests/CMakeFiles/flashsim_tests.dir/test_apps.cc.o.d"
+  "/root/repo/tests/test_cache.cc" "tests/CMakeFiles/flashsim_tests.dir/test_cache.cc.o" "gcc" "tests/CMakeFiles/flashsim_tests.dir/test_cache.cc.o.d"
+  "/root/repo/tests/test_conformance.cc" "tests/CMakeFiles/flashsim_tests.dir/test_conformance.cc.o" "gcc" "tests/CMakeFiles/flashsim_tests.dir/test_conformance.cc.o.d"
+  "/root/repo/tests/test_directory.cc" "tests/CMakeFiles/flashsim_tests.dir/test_directory.cc.o" "gcc" "tests/CMakeFiles/flashsim_tests.dir/test_directory.cc.o.d"
+  "/root/repo/tests/test_event_queue.cc" "tests/CMakeFiles/flashsim_tests.dir/test_event_queue.cc.o" "gcc" "tests/CMakeFiles/flashsim_tests.dir/test_event_queue.cc.o.d"
+  "/root/repo/tests/test_fetchop.cc" "tests/CMakeFiles/flashsim_tests.dir/test_fetchop.cc.o" "gcc" "tests/CMakeFiles/flashsim_tests.dir/test_fetchop.cc.o.d"
+  "/root/repo/tests/test_handlers.cc" "tests/CMakeFiles/flashsim_tests.dir/test_handlers.cc.o" "gcc" "tests/CMakeFiles/flashsim_tests.dir/test_handlers.cc.o.d"
+  "/root/repo/tests/test_latency.cc" "tests/CMakeFiles/flashsim_tests.dir/test_latency.cc.o" "gcc" "tests/CMakeFiles/flashsim_tests.dir/test_latency.cc.o.d"
+  "/root/repo/tests/test_machine.cc" "tests/CMakeFiles/flashsim_tests.dir/test_machine.cc.o" "gcc" "tests/CMakeFiles/flashsim_tests.dir/test_machine.cc.o.d"
+  "/root/repo/tests/test_magic.cc" "tests/CMakeFiles/flashsim_tests.dir/test_magic.cc.o" "gcc" "tests/CMakeFiles/flashsim_tests.dir/test_magic.cc.o.d"
+  "/root/repo/tests/test_magic_cache.cc" "tests/CMakeFiles/flashsim_tests.dir/test_magic_cache.cc.o" "gcc" "tests/CMakeFiles/flashsim_tests.dir/test_magic_cache.cc.o.d"
+  "/root/repo/tests/test_memory_controller.cc" "tests/CMakeFiles/flashsim_tests.dir/test_memory_controller.cc.o" "gcc" "tests/CMakeFiles/flashsim_tests.dir/test_memory_controller.cc.o.d"
+  "/root/repo/tests/test_monitoring.cc" "tests/CMakeFiles/flashsim_tests.dir/test_monitoring.cc.o" "gcc" "tests/CMakeFiles/flashsim_tests.dir/test_monitoring.cc.o.d"
+  "/root/repo/tests/test_msgpass.cc" "tests/CMakeFiles/flashsim_tests.dir/test_msgpass.cc.o" "gcc" "tests/CMakeFiles/flashsim_tests.dir/test_msgpass.cc.o.d"
+  "/root/repo/tests/test_network.cc" "tests/CMakeFiles/flashsim_tests.dir/test_network.cc.o" "gcc" "tests/CMakeFiles/flashsim_tests.dir/test_network.cc.o.d"
+  "/root/repo/tests/test_ppc.cc" "tests/CMakeFiles/flashsim_tests.dir/test_ppc.cc.o" "gcc" "tests/CMakeFiles/flashsim_tests.dir/test_ppc.cc.o.d"
+  "/root/repo/tests/test_ppsim.cc" "tests/CMakeFiles/flashsim_tests.dir/test_ppsim.cc.o" "gcc" "tests/CMakeFiles/flashsim_tests.dir/test_ppsim.cc.o.d"
+  "/root/repo/tests/test_races.cc" "tests/CMakeFiles/flashsim_tests.dir/test_races.cc.o" "gcc" "tests/CMakeFiles/flashsim_tests.dir/test_races.cc.o.d"
+  "/root/repo/tests/test_report.cc" "tests/CMakeFiles/flashsim_tests.dir/test_report.cc.o" "gcc" "tests/CMakeFiles/flashsim_tests.dir/test_report.cc.o.d"
+  "/root/repo/tests/test_stats.cc" "tests/CMakeFiles/flashsim_tests.dir/test_stats.cc.o" "gcc" "tests/CMakeFiles/flashsim_tests.dir/test_stats.cc.o.d"
+  "/root/repo/tests/test_tango.cc" "tests/CMakeFiles/flashsim_tests.dir/test_tango.cc.o" "gcc" "tests/CMakeFiles/flashsim_tests.dir/test_tango.cc.o.d"
+  "/root/repo/tests/test_timing_model.cc" "tests/CMakeFiles/flashsim_tests.dir/test_timing_model.cc.o" "gcc" "tests/CMakeFiles/flashsim_tests.dir/test_timing_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/flashsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
