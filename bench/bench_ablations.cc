@@ -18,80 +18,99 @@
 using namespace flashsim;
 using namespace flashsim::bench;
 
-namespace
-{
-
-Tick
-execOf(const MachineConfig &cfg, const std::string &app)
-{
-    return runApp(cfg, app).summary.execTime;
-}
-
-} // namespace
-
 int
 main()
 {
     std::printf("FlashSim design ablations\n=========================\n\n");
 
+    // Every ablation point is an independent machine; submit all of
+    // them as one sweep and print section by section afterwards (the
+    // results vector preserves submission order).
+    std::vector<std::function<RunOutcome()>> jobs;
+    auto add = [&jobs](MachineConfig cfg, const std::string &app) {
+        jobs.emplace_back([cfg, app] { return runApp(cfg, app); });
+        return jobs.size() - 1;
+    };
+
     // 1. MDC geometry sweep on the MDC-heaviest workload.
-    std::printf("1. MAGIC data cache size (OS workload, FLASH):\n");
-    Tick mdc_base = 0;
-    for (std::uint32_t kb : {16u, 32u, 64u, 128u}) {
+    const std::uint32_t mdc_kb[] = {16u, 32u, 64u, 128u};
+    std::size_t mdc_first = jobs.size();
+    for (std::uint32_t kb : mdc_kb) {
         MachineConfig cfg = MachineConfig::flash(8);
         cfg.magic.mdcBytes = kb * 1024;
-        Tick t = execOf(cfg, "os");
-        if (kb == 64)
-            mdc_base = t;
-        std::printf("   %4u KB MDC: %9llu cycles\n", kb,
-                    static_cast<unsigned long long>(t));
+        add(cfg, "os");
     }
 
     // 2. MDC miss penalty.
-    std::printf("\n2. MDC miss penalty (OS workload, 64 KB MDC; paper "
-                "charges 29 cycles):\n");
-    for (Cycles pen : {Cycles{0}, Cycles{29}, Cycles{60}}) {
+    const Cycles penalties[] = {Cycles{0}, Cycles{29}, Cycles{60}};
+    std::size_t pen_first = jobs.size();
+    for (Cycles pen : penalties) {
         MachineConfig cfg = MachineConfig::flash(8);
         cfg.magic.mdcMissPenalty = pen;
-        std::printf("   penalty %2llu: %9llu cycles\n",
-                    static_cast<unsigned long long>(pen),
-                    static_cast<unsigned long long>(execOf(cfg, "os")));
+        add(cfg, "os");
     }
-    (void)mdc_base;
 
     // 3. Network model: paper's fixed average vs per-pair distances.
-    std::printf("\n3. Network transit model (FFT, FLASH):\n");
-    {
-        MachineConfig avg = MachineConfig::flash(16);
-        MachineConfig dist = MachineConfig::flash(16);
-        dist.net.distanceBased = true;
-        std::printf("   fixed 22-cycle average: %9llu cycles\n",
-                    static_cast<unsigned long long>(execOf(avg, "fft")));
-        std::printf("   per-pair mesh distance: %9llu cycles\n",
-                    static_cast<unsigned long long>(execOf(dist, "fft")));
-    }
+    std::size_t net_avg = add(MachineConfig::flash(16), "fft");
+    MachineConfig dist_cfg = MachineConfig::flash(16);
+    dist_cfg.net.distanceBased = true;
+    std::size_t net_dist = add(dist_cfg, "fft");
 
     // 4. NACK retry backoff (MP3D has the most transient racing).
-    std::printf("\n4. NACK retry base backoff (MP3D, FLASH; retries "
-                "double per consecutive NACK from this base):\n");
-    for (Cycles b : {Cycles{4}, Cycles{16}, Cycles{64}}) {
+    const Cycles backoffs[] = {Cycles{4}, Cycles{16}, Cycles{64}};
+    std::size_t backoff_first = jobs.size();
+    for (Cycles b : backoffs) {
         MachineConfig cfg = MachineConfig::flash(16);
         cfg.magic.nackRetryBackoff = b;
-        RunOutcome r = runApp(cfg, "mp3d");
+        add(cfg, "mp3d");
+    }
+
+    // 5. Timing source: PPsim-executed handlers vs Table 3.4 constants.
+    std::size_t timing_emu = add(MachineConfig::flash(16), "fft");
+    MachineConfig table_cfg = MachineConfig::flash(16);
+    table_cfg.magic.usePpEmulator = false;
+    std::size_t timing_table = add(table_cfg, "fft");
+
+    sim::SweepRunner runner;
+    std::vector<RunOutcome> outs = runner.run(std::move(jobs));
+    printSweepMetrics("ablations", runner.lastMetrics());
+
+    std::printf("1. MAGIC data cache size (OS workload, FLASH):\n");
+    for (std::size_t i = 0; i < std::size(mdc_kb); ++i)
+        std::printf("   %4u KB MDC: %9llu cycles\n", mdc_kb[i],
+                    static_cast<unsigned long long>(
+                        outs[mdc_first + i].summary.execTime));
+
+    std::printf("\n2. MDC miss penalty (OS workload, 64 KB MDC; paper "
+                "charges 29 cycles):\n");
+    for (std::size_t i = 0; i < std::size(penalties); ++i)
+        std::printf("   penalty %2llu: %9llu cycles\n",
+                    static_cast<unsigned long long>(penalties[i]),
+                    static_cast<unsigned long long>(
+                        outs[pen_first + i].summary.execTime));
+
+    std::printf("\n3. Network transit model (FFT, FLASH):\n");
+    std::printf("   fixed 22-cycle average: %9llu cycles\n",
+                static_cast<unsigned long long>(
+                    outs[net_avg].summary.execTime));
+    std::printf("   per-pair mesh distance: %9llu cycles\n",
+                static_cast<unsigned long long>(
+                    outs[net_dist].summary.execTime));
+
+    std::printf("\n4. NACK retry base backoff (MP3D, FLASH; retries "
+                "double per consecutive NACK from this base):\n");
+    for (std::size_t i = 0; i < std::size(backoffs); ++i) {
+        const RunOutcome &r = outs[backoff_first + i];
         std::printf("   base %2llu: %9llu cycles, %llu NACKs\n",
-                    static_cast<unsigned long long>(b),
+                    static_cast<unsigned long long>(backoffs[i]),
                     static_cast<unsigned long long>(r.summary.execTime),
                     static_cast<unsigned long long>(r.summary.nacksSent));
     }
 
-    // 5. Timing source: PPsim-executed handlers vs Table 3.4 constants.
     std::printf("\n5. Handler timing source (FFT, FLASH):\n");
     {
-        MachineConfig emu = MachineConfig::flash(16);
-        MachineConfig table = MachineConfig::flash(16);
-        table.magic.usePpEmulator = false;
-        Tick te = execOf(emu, "fft");
-        Tick tt = execOf(table, "fft");
+        Tick te = outs[timing_emu].summary.execTime;
+        Tick tt = outs[timing_table].summary.execTime;
         std::printf("   PPsim-executed handlers: %9llu cycles\n",
                     static_cast<unsigned long long>(te));
         std::printf("   Table 3.4 constants:     %9llu cycles "

@@ -52,18 +52,27 @@ main(int argc, char **argv)
                 "(16 processors, OS: 8)%s\n\n",
                 scale == Scale::Paper ? " [paper problem sizes]" : "");
 
+    sim::SweepRunner runner;
     machine::ProbeResult flash_probe =
-        machine::probeMissLatencies(MachineConfig::flash(16));
+        machine::probeMissLatencies(MachineConfig::flash(16), &runner);
     machine::ProbeResult ideal_probe =
-        machine::probeMissLatencies(MachineConfig::ideal(16));
+        machine::probeMissLatencies(MachineConfig::ideal(16), &runner);
+
+    // All 14 machine runs (7 workloads x FLASH/ideal) are independent
+    // jobs; results come back in submission order, so the printed
+    // report is identical to the serial one.
+    std::vector<PairSpec> specs;
+    for (const std::string &app : apps::allWorkloadNames())
+        specs.push_back(pairSpec(app, app == "os" ? 8 : 16, 1u << 20,
+                                 scale));
+    std::vector<Pair> pairs = runPairs(specs, runner);
+    printSweepMetrics("fig_4_1", runner.lastMetrics());
 
     std::printf("Execution time breakdowns (FLASH normalized to 100):\n");
     std::vector<std::pair<std::string, Pair>> results;
-    for (const std::string &app : apps::allWorkloadNames()) {
-        int procs = app == "os" ? 8 : 16;
-        Pair p = runPair(app, procs, 1u << 20, scale);
-        printBars(app, p);
-        results.emplace_back(app, std::move(p));
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        printBars(specs[i].app, pairs[i]);
+        results.emplace_back(specs[i].app, std::move(pairs[i]));
     }
 
     std::printf("\nTable 4.1 statistics (measured):\n");

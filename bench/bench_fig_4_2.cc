@@ -18,10 +18,11 @@ int
 main()
 {
     std::printf("Figure 4.2 / Table 4.2 (64 KB caches, 16 procs)\n\n");
+    sim::SweepRunner runner;
     machine::ProbeResult fp =
-        machine::probeMissLatencies(MachineConfig::flash(16));
+        machine::probeMissLatencies(MachineConfig::flash(16), &runner);
     machine::ProbeResult ip =
-        machine::probeMissLatencies(MachineConfig::ideal(16));
+        machine::probeMissLatencies(MachineConfig::ideal(16), &runner);
 
     // Paper Table 4.2, 64 KB columns: miss rate / local-clean fraction.
     struct PaperRow
@@ -38,12 +39,17 @@ main()
         {"radix", 4.2, 80.1},
     };
 
+    std::vector<PairSpec> specs;
+    for (const PaperRow &row : paper)
+        specs.push_back(pairSpec(row.app, 16, 64u * 1024u));
+    std::vector<Pair> pairs = runPairs(specs, runner);
+    printSweepMetrics("fig_4_2", runner.lastMetrics());
+
     std::printf("Execution time breakdowns (FLASH normalized to 100):\n");
     std::vector<std::pair<std::string, Pair>> results;
-    for (const PaperRow &row : paper) {
-        Pair p = runPair(row.app, 16, 64u * 1024u);
-        printBars(row.app, p);
-        results.emplace_back(row.app, std::move(p));
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        printBars(specs[i].app, pairs[i]);
+        results.emplace_back(specs[i].app, std::move(pairs[i]));
     }
 
     std::printf("\nTable 4.2 statistics (measured):\n");

@@ -21,10 +21,11 @@ int
 main()
 {
     std::printf("Figure 4.3 / Table 4.2 (4 KB caches; Ocean 16 KB)\n\n");
+    sim::SweepRunner runner;
     machine::ProbeResult fp =
-        machine::probeMissLatencies(MachineConfig::flash(16));
+        machine::probeMissLatencies(MachineConfig::flash(16), &runner);
     machine::ProbeResult ip =
-        machine::probeMissLatencies(MachineConfig::ideal(16));
+        machine::probeMissLatencies(MachineConfig::ideal(16), &runner);
 
     struct Row
     {
@@ -40,12 +41,19 @@ main()
         {"radix", 4096, 10.0, 91.3},
     };
 
+    // The per-app cache sizes make this the cache-size sweep: each
+    // FLASH/ideal machine is its own job.
+    std::vector<PairSpec> specs;
+    for (const Row &row : rows)
+        specs.push_back(pairSpec(row.app, 16, row.cacheBytes));
+    std::vector<Pair> pairs = runPairs(specs, runner);
+    printSweepMetrics("fig_4_3", runner.lastMetrics());
+
     std::printf("Execution time breakdowns (FLASH normalized to 100):\n");
     std::vector<std::pair<std::string, Pair>> results;
-    for (const Row &row : rows) {
-        Pair p = runPair(row.app, 16, row.cacheBytes);
-        printBars(row.app, p);
-        results.emplace_back(row.app, std::move(p));
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        printBars(specs[i].app, pairs[i]);
+        results.emplace_back(specs[i].app, std::move(pairs[i]));
     }
 
     std::printf("\nTable 4.2 statistics (measured):\n");

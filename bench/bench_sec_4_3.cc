@@ -34,17 +34,21 @@ struct HotspotResult
     double maxMemOcc = 0;
 };
 
+PairSpec
+hotspotSpec(const std::string &app, int procs, std::uint32_t cache,
+            machine::Placement placement)
+{
+    PairSpec s = pairSpec(app, procs, cache);
+    s.flash.placement = placement;
+    s.ideal.placement = placement;
+    return s;
+}
+
 HotspotResult
-run(const std::string &app, int procs, std::uint32_t cache,
-    machine::Placement placement)
+hotspotResult(Pair pair)
 {
     HotspotResult r;
-    MachineConfig f = MachineConfig::flash(procs, cache);
-    MachineConfig i = MachineConfig::ideal(procs, cache);
-    f.placement = placement;
-    i.placement = placement;
-    r.pair.flash = runApp(f, app);
-    r.pair.ideal = runApp(i, app);
+    r.pair = std::move(pair);
     const Machine &m = *r.pair.flash.machine;
     for (int n = 0; n < m.numProcs(); ++n) {
         r.maxPpOcc = std::max(
@@ -74,25 +78,29 @@ main()
 {
     std::printf("Section 4.3: PP occupancy vs memory occupancy\n\n");
 
-    // FFT, 4 KB caches, all pages on node 0.
-    HotspotResult fft_hot =
-        run("fft", 16, 4096, machine::Placement::Node0);
-    report("FFT 4KB, all memory on node 0:", fft_hot, 81.6, 67.7, 2.6);
+    // Four placement configurations, eight independent machines, one
+    // sweep: FFT hot-spot and round-robin, OS first-fit (the original
+    // bus-oriented IRIX port) and round-robin (the tuned kernel).
+    sim::SweepRunner runner;
+    std::vector<PairSpec> specs = {
+        hotspotSpec("fft", 16, 4096, machine::Placement::Node0),
+        hotspotSpec("fft", 16, 4096, machine::Placement::RoundRobinPages),
+        hotspotSpec("os", 8, 1u << 20, machine::Placement::FirstFit),
+        hotspotSpec("os", 8, 1u << 20,
+                    machine::Placement::RoundRobinPages),
+    };
+    std::vector<Pair> pairs = runPairs(specs, runner);
+    printSweepMetrics("sec_4_3", runner.lastMetrics());
 
-    // Baseline FFT with round-robin placement for contrast.
-    HotspotResult fft_rr =
-        run("fft", 16, 4096, machine::Placement::RoundRobinPages);
-    report("FFT 4KB, round-robin pages:", fft_rr, 0, 0, 0);
-
+    report("FFT 4KB, all memory on node 0:",
+           hotspotResult(std::move(pairs[0])), 81.6, 67.7, 2.6);
+    report("FFT 4KB, round-robin pages:",
+           hotspotResult(std::move(pairs[1])), 0, 0, 0);
     std::printf("\n");
-
-    // OS workload: first-fit (original IRIX) vs round-robin (tuned).
-    HotspotResult os_ff =
-        run("os", 8, 1u << 20, machine::Placement::FirstFit);
-    report("OS, first-fit placement:", os_ff, 81, 33, 29);
-    HotspotResult os_rr =
-        run("os", 8, 1u << 20, machine::Placement::RoundRobinPages);
-    report("OS, round-robin placement:", os_rr, 0, 0, 10);
+    report("OS, first-fit placement:", hotspotResult(std::move(pairs[2])),
+           81, 33, 29);
+    report("OS, round-robin placement:",
+           hotspotResult(std::move(pairs[3])), 0, 0, 10);
 
     std::printf("\nShape check: the hot node's PP occupancy is high in "
                 "both hot-spot runs, but only the OS/first-fit case "

@@ -20,16 +20,37 @@ using namespace flashsim::bench;
 namespace
 {
 
+/** Job running @p App with @p params on a fresh machine; the workload
+ *  object is constructed inside the job so every run is independent. */
+template <typename App, typename Params>
+std::function<RunOutcome()>
+appJob(MachineConfig cfg, Params params)
+{
+    return [cfg, params] {
+        App w(params);
+        RunOutcome out;
+        out.machine = apps::runWorkload(cfg, w);
+        out.summary = machine::summarize(*out.machine);
+        return out;
+    };
+}
+
+/** FLASH and ideal jobs at @p procs for one configuration. */
+template <typename App, typename Params>
+void
+pushPairJobs(std::vector<std::function<RunOutcome()>> &jobs, int procs,
+             Params params)
+{
+    jobs.push_back(appJob<App>(MachineConfig::flash(procs), params));
+    jobs.push_back(appJob<App>(MachineConfig::ideal(procs), params));
+}
+
 Pair
-runBoth(apps::Workload &wf, apps::Workload &wi, int procs)
+takePair(std::vector<RunOutcome> &outs, std::size_t pair_index)
 {
     Pair p;
-    p.flash.machine =
-        apps::runWorkload(MachineConfig::flash(procs), wf);
-    p.flash.summary = machine::summarize(*p.flash.machine);
-    p.ideal.machine =
-        apps::runWorkload(MachineConfig::ideal(procs), wi);
-    p.ideal.summary = machine::summarize(*p.ideal.machine);
+    p.flash = std::move(outs[2 * pair_index]);
+    p.ideal = std::move(outs[2 * pair_index + 1]);
     return p;
 }
 
@@ -43,40 +64,50 @@ main()
     std::printf("%-26s %10s %10s %10s\n", "configuration", "16p slow%",
                 "64p slow%", "paper 64p");
 
+    // Seven FLASH/ideal pairs, fourteen independent machines (the
+    // 64-processor runs dominate), submitted as one sweep.
+    apps::FftParams fft_small; // default size at both machine scales
+    apps::FftParams fft_big = fft_small;
+    fft_big.logN += 2; // data set scaled proportionally (4x points)
+    apps::OceanParams ocean_p;
+    apps::LuParams lu_p;
+
+    std::vector<std::function<RunOutcome()>> jobs;
+    pushPairJobs<apps::Fft>(jobs, 16, fft_small);   // pair 0
+    pushPairJobs<apps::Fft>(jobs, 64, fft_small);   // pair 1
+    pushPairJobs<apps::Fft>(jobs, 64, fft_big);     // pair 2
+    pushPairJobs<apps::Ocean>(jobs, 16, ocean_p);   // pair 3
+    pushPairJobs<apps::Ocean>(jobs, 64, ocean_p);   // pair 4
+    pushPairJobs<apps::Lu>(jobs, 16, lu_p);         // pair 5
+    pushPairJobs<apps::Lu>(jobs, 64, lu_p);         // pair 6
+
+    sim::SweepRunner runner;
+    std::vector<RunOutcome> outs = runner.run(std::move(jobs));
+    printSweepMetrics("sec_4_5", runner.lastMetrics());
+
     // FFT.
     {
-        apps::FftParams p; // default size at both machine scales
-        apps::Fft f16a(p), f16b(p), f64a(p), f64b(p);
-        Pair p16 = runBoth(f16a, f16b, 16);
-        Pair p64 = runBoth(f64a, f64b, 64);
+        Pair p16 = takePair(outs, 0);
+        Pair p64 = takePair(outs, 1);
         std::printf("%-26s %9.1f%% %9.1f%% %9.1f%%\n", "fft",
                     p16.slowdownPct(), p64.slowdownPct(), 17.0);
-
-        // FFT with the data set scaled proportionally (4x points).
-        apps::FftParams big = p;
-        big.logN += 2;
-        apps::Fft fb1(big), fb2(big);
-        Pair pb = runBoth(fb1, fb2, 64);
+        Pair pb = takePair(outs, 2);
         std::printf("%-26s %10s %9.1f%% %9.1f%%\n", "fft (scaled data)",
                     "-", pb.slowdownPct(), 12.0);
     }
 
     // Ocean.
     {
-        apps::OceanParams p;
-        apps::Ocean o1(p), o2(p), o3(p), o4(p);
-        Pair p16 = runBoth(o1, o2, 16);
-        Pair p64 = runBoth(o3, o4, 64);
+        Pair p16 = takePair(outs, 3);
+        Pair p64 = takePair(outs, 4);
         std::printf("%-26s %9.1f%% %9.1f%% %9.1f%%\n", "ocean",
                     p16.slowdownPct(), p64.slowdownPct(), 12.0);
     }
 
     // LU.
     {
-        apps::LuParams p;
-        apps::Lu l1(p), l2(p), l3(p), l4(p);
-        Pair p16 = runBoth(l1, l2, 16);
-        Pair p64 = runBoth(l3, l4, 64);
+        Pair p16 = takePair(outs, 5);
+        Pair p64 = takePair(outs, 6);
         std::printf("%-26s %9.1f%% %9.1f%% %9.1f%%\n", "lu",
                     p16.slowdownPct(), p64.slowdownPct(), 0.7);
     }

@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "machine/runner.hh"
+#include "sim/sweep.hh"
 
 using namespace flashsim;
 using namespace flashsim::machine;
@@ -76,8 +77,17 @@ main()
 
     std::printf("Probing the five read-miss classes "
                 "(16-node machines, no contention)...\n\n");
-    ProbeResult pf = probeMissLatencies(flash_cfg);
-    ProbeResult pi = probeMissLatencies(ideal_cfg);
+    sim::SweepRunner runner;
+    ProbeResult pf = probeMissLatencies(flash_cfg, &runner);
+    const sim::SweepMetrics flash_metrics = runner.lastMetrics();
+    ProbeResult pi = probeMissLatencies(ideal_cfg, &runner);
+    std::fprintf(stderr,
+                 "[sweep] probe: 2x%zu jobs on %d workers, wall "
+                 "%.2fs+%.2fs, speedup %.2fx/%.2fx\n",
+                 flash_metrics.jobs.size(), flash_metrics.workers,
+                 flash_metrics.wallSeconds,
+                 runner.lastMetrics().wallSeconds,
+                 flash_metrics.speedup(), runner.lastMetrics().speedup());
 
     std::printf("Table 3.3: memory latencies and occupancies, no "
                 "contention (10 ns cycles)\n");

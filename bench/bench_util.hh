@@ -10,13 +10,17 @@
 #define FLASHSIM_BENCH_BENCH_UTIL_HH_
 
 #include <cstdio>
+#include <functional>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "apps/workload.hh"
 #include "machine/report.hh"
 #include "machine/runner.hh"
 #include "ppisa/ppsim.hh"
+#include "sim/sweep.hh"
 
 namespace flashsim::bench
 {
@@ -68,6 +72,59 @@ runPair(const std::string &app, int procs, std::uint32_t cache_bytes,
     p.flash = runApp(MachineConfig::flash(procs, cache_bytes), app, scale);
     p.ideal = runApp(MachineConfig::ideal(procs, cache_bytes), app, scale);
     return p;
+}
+
+/** One FLASH/ideal comparison in a multi-config sweep. */
+struct PairSpec
+{
+    std::string app;
+    MachineConfig flash;
+    MachineConfig ideal;
+    Scale scale = Scale::Default;
+};
+
+/** PairSpec from the standard machine pair for @p app. */
+inline PairSpec
+pairSpec(const std::string &app, int procs, std::uint32_t cache_bytes,
+         Scale scale = Scale::Default)
+{
+    return {app, MachineConfig::flash(procs, cache_bytes),
+            MachineConfig::ideal(procs, cache_bytes), scale};
+}
+
+/**
+ * Run every spec's FLASH and ideal machine as independent jobs through
+ * @p runner (2 jobs per spec). Results come back in spec order and are
+ * bit-identical to calling runPair() serially, whatever the worker
+ * count.
+ */
+inline std::vector<Pair>
+runPairs(const std::vector<PairSpec> &specs, sim::SweepRunner &runner)
+{
+    std::vector<std::function<RunOutcome()>> jobs;
+    jobs.reserve(2 * specs.size());
+    for (const PairSpec &s : specs) {
+        jobs.emplace_back([s] { return runApp(s.flash, s.app, s.scale); });
+        jobs.emplace_back([s] { return runApp(s.ideal, s.app, s.scale); });
+    }
+    std::vector<RunOutcome> outs = runner.run(std::move(jobs));
+    std::vector<Pair> pairs(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        pairs[i].flash = std::move(outs[2 * i]);
+        pairs[i].ideal = std::move(outs[2 * i + 1]);
+    }
+    return pairs;
+}
+
+/** One-line sweep metrics report for a bench's stderr footer. */
+inline void
+printSweepMetrics(const char *label, const sim::SweepMetrics &m)
+{
+    std::fprintf(stderr,
+                 "[sweep] %s: %zu jobs on %d workers, wall %.2fs, "
+                 "serial %.2fs, speedup %.2fx, %.2f jobs/s\n",
+                 label, m.jobs.size(), m.workers, m.wallSeconds,
+                 m.serialSeconds, m.speedup(), m.jobsPerSecond());
 }
 
 /** Figure 4.1-style paired bars, FLASH normalized to 100. */

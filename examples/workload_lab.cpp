@@ -11,10 +11,13 @@
 
 #include <cstdio>
 #include <cstring>
+#include <functional>
 #include <memory>
+#include <vector>
 
 #include "machine/machine.hh"
 #include "machine/report.hh"
+#include "sim/sweep.hh"
 
 using namespace flashsim;
 using namespace flashsim::machine;
@@ -102,13 +105,18 @@ int
 main(int argc, char **argv)
 {
     int procs = 8;
+    int jobs = 0; // 0: FLASHSIM_JOBS or hardware concurrency
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--help") == 0) {
-            std::printf("usage: workload_lab [--procs N]\n");
+            std::printf("usage: workload_lab [--procs N] [--jobs N]\n"
+                        "  --jobs N   sweep workers (default: "
+                        "FLASHSIM_JOBS or hardware concurrency)\n");
             return 0;
         }
         if (std::strcmp(argv[i], "--procs") == 0 && i + 1 < argc)
             procs = std::atoi(argv[++i]);
+        if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
+            jobs = std::atoi(argv[++i]);
     }
 
     std::printf("Workload lab: producer/consumer pipeline on %d "
@@ -116,11 +124,25 @@ main(int argc, char **argv)
     std::printf("%-10s %-7s %10s %8s %8s %8s %8s\n", "cache", "machine",
                 "cycles", "miss%", "sync%", "ppOcc%", "FLASH+%");
 
-    for (std::uint32_t cache : {1u << 20, 64u * 1024u, 4096u}) {
+    // The cache-size sweep runs all six machines (3 sizes x
+    // FLASH/ideal) as independent jobs; results come back in
+    // submission order so the table below is identical however many
+    // workers execute it.
+    const std::uint32_t caches[] = {1u << 20, 64u * 1024u, 4096u};
+    std::vector<std::function<Summary()>> sweep_jobs;
+    for (std::uint32_t cache : caches) {
         MachineConfig f = MachineConfig::flash(procs, cache);
         MachineConfig i = MachineConfig::ideal(procs, cache);
-        Summary sf = runPipeline(f);
-        Summary si = runPipeline(i);
+        sweep_jobs.emplace_back([f] { return runPipeline(f); });
+        sweep_jobs.emplace_back([i] { return runPipeline(i); });
+    }
+    sim::SweepRunner runner(jobs);
+    std::vector<Summary> results = runner.run(std::move(sweep_jobs));
+
+    for (std::size_t c = 0; c < std::size(caches); ++c) {
+        std::uint32_t cache = caches[c];
+        const Summary &sf = results[2 * c];
+        const Summary &si = results[2 * c + 1];
         double slow = 100.0 * (static_cast<double>(sf.execTime) /
                                    static_cast<double>(si.execTime) -
                                1.0);

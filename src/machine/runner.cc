@@ -49,50 +49,66 @@ totalPpCycles(const Machine &m)
     return total;
 }
 
-/** Run one probe; returns {latency, pp cycles for the read}. */
-std::pair<double, double>
-probeClass(const MachineConfig &cfg, int cls)
+/** Outcome of one probe run (one machine). */
+struct ProbeRun
 {
-    // Reference run without the measured read, to subtract the PP
-    // cycles of the setup traffic (the write and its writeback path).
-    Cycles pp_base;
-    {
-        Machine m(cfg);
-        Addr warm = m.alloc(2 * kLineSize, 0);
-        m.run([cls, warm](tango::Env &env) {
-            return probeTask(env, cls, warm, warm + kLineSize, false);
-        });
-        m.drain();
-        pp_base = totalPpCycles(m);
-    }
+    double latency = 0;  ///< measured read latency (measured runs only)
+    double ppCycles = 0; ///< machine-wide PP busy cycles after drain
+};
 
+/**
+ * One independent probe run: the measured run performs the class's read
+ * and records its latency; the reference run (do_read false) produces
+ * only the setup traffic (the write and its writeback path) so its PP
+ * cycles can be subtracted out.
+ */
+ProbeRun
+probeRun(const MachineConfig &cfg, int cls, bool do_read)
+{
     Machine m(cfg);
     Addr warm = m.alloc(2 * kLineSize, 0);
-    m.run([cls, warm](tango::Env &env) {
-        return probeTask(env, cls, warm, warm + kLineSize, true);
+    m.run([cls, warm, do_read](tango::Env &env) {
+        return probeTask(env, cls, warm, warm + kLineSize, do_read);
     });
-    const cpu::Cache &reader = m.node(kReader[cls]).cache();
-    if (reader.missLatency.count() != 2)
-        panic("probeClass %d: expected 2 read misses at the reader, got "
-              "%llu", cls,
-              static_cast<unsigned long long>(reader.missLatency.count()));
-    double latency = reader.missLatency.last();
+    ProbeRun r;
+    if (do_read) {
+        const cpu::Cache &reader = m.node(kReader[cls]).cache();
+        if (reader.missLatency.count() != 2)
+            panic("probeRun %d: expected 2 read misses at the reader, "
+                  "got %llu", cls,
+                  static_cast<unsigned long long>(
+                      reader.missLatency.count()));
+        r.latency = reader.missLatency.last();
+    }
     m.drain();
-    double pp = static_cast<double>(totalPpCycles(m)) -
-                static_cast<double>(pp_base);
-    return {latency, pp};
+    r.ppCycles = static_cast<double>(totalPpCycles(m));
+    return r;
 }
 
 } // namespace
 
 ProbeResult
-probeMissLatencies(MachineConfig cfg)
+probeMissLatencies(MachineConfig cfg, sim::SweepRunner *runner)
 {
     if (cfg.numProcs < 3)
         fatal("probeMissLatencies: need at least 3 processors");
     // Cold-MIC penalties would pollute the per-class PP deltas.
     cfg.magic.micColdMiss = 0;
     cfg.placement = Placement::Node0;
+
+    // 5 classes x {reference, measured}: ten fully independent
+    // machines, submitted as one sweep. Job 2*cls is the reference run,
+    // job 2*cls+1 the measured one.
+    std::vector<std::function<ProbeRun()>> jobs;
+    jobs.reserve(10);
+    for (int cls = 0; cls < 5; ++cls) {
+        jobs.emplace_back([cfg, cls] { return probeRun(cfg, cls, false); });
+        jobs.emplace_back([cfg, cls] { return probeRun(cfg, cls, true); });
+    }
+    sim::SweepRunner local;
+    if (!runner)
+        runner = &local;
+    std::vector<ProbeRun> runs = runner->run(std::move(jobs));
 
     ProbeResult r;
     double *lat[5] = {&r.latency.localClean, &r.latency.localDirtyRemote,
@@ -104,9 +120,11 @@ probeMissLatencies(MachineConfig cfg)
                       &r.ppOccupancy.remoteDirtyHome,
                       &r.ppOccupancy.remoteDirtyRemote};
     for (int cls = 0; cls < 5; ++cls) {
-        auto [latency, pp] = probeClass(cfg, cls);
-        *lat[cls] = latency;
-        *occ[cls] = pp;
+        const ProbeRun &ref = runs[static_cast<std::size_t>(2 * cls)];
+        const ProbeRun &meas =
+            runs[static_cast<std::size_t>(2 * cls + 1)];
+        *lat[cls] = meas.latency;
+        *occ[cls] = meas.ppCycles - ref.ppCycles;
     }
     return r;
 }

@@ -9,6 +9,7 @@
 
 #include "machine/machine.hh"
 #include "machine/report.hh"
+#include "sim/sweep.hh"
 
 namespace flashsim::machine
 {
@@ -27,8 +28,14 @@ struct ProbeResult
  * node 2 reads) and the miss service time is read from the requester's
  * cache. PP occupancy per class is the delta in machine-wide PP busy
  * cycles attributable to servicing the read.
+ *
+ * The ten underlying runs (5 classes x {reference, measured}) are
+ * independent machines and execute through @p runner when given (or a
+ * private auto-sized SweepRunner otherwise); results are identical to
+ * serial execution regardless of worker count.
  */
-ProbeResult probeMissLatencies(MachineConfig cfg);
+ProbeResult probeMissLatencies(MachineConfig cfg,
+                               sim::SweepRunner *runner = nullptr);
 
 } // namespace flashsim::machine
 

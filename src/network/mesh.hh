@@ -52,7 +52,9 @@ class MeshNetwork
     /** Average transit latency in cycles (22 for 16 nodes). */
     Cycles avgTransit() const { return avgTransit_; }
 
-    /** Transit latency charged for a specific pair. */
+    /** Transit latency charged for a specific pair. Self-sends never
+     *  enter the mesh and pay only entry/exit + header, in both
+     *  modes. */
     Cycles transit(NodeId src, NodeId dest) const;
 
     /** Mesh side length (smallest square covering num_nodes). */

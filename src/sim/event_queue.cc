@@ -1,5 +1,6 @@
 #include "sim/event_queue.hh"
 
+#include <algorithm>
 #include <utility>
 
 #include "sim/logging.hh"
@@ -20,7 +21,17 @@ EventQueue::scheduleAt(Tick when, Callback cb)
         panic("event scheduled in the past (%llu < %llu)",
               static_cast<unsigned long long>(when),
               static_cast<unsigned long long>(_now));
-    events_.push(Event{when, nextSeq_++, std::move(cb)});
+    events_.push_back(Event{when, nextSeq_++, std::move(cb)});
+    std::push_heap(events_.begin(), events_.end(), Later{});
+}
+
+EventQueue::Event
+EventQueue::popNext()
+{
+    std::pop_heap(events_.begin(), events_.end(), Later{});
+    Event ev = std::move(events_.back());
+    events_.pop_back();
+    return ev;
 }
 
 bool
@@ -28,10 +39,7 @@ EventQueue::step()
 {
     if (events_.empty())
         return false;
-    // priority_queue::top() is const; move out via const_cast, which is
-    // safe because we pop immediately and never re-compare the element.
-    Event ev = std::move(const_cast<Event &>(events_.top()));
-    events_.pop();
+    Event ev = popNext();
     _now = ev.when;
     ev.cb();
     return true;
@@ -41,7 +49,7 @@ std::uint64_t
 EventQueue::run(Tick limit)
 {
     std::uint64_t executed = 0;
-    while (!events_.empty() && events_.top().when <= limit) {
+    while (!events_.empty() && events_.front().when <= limit) {
         step();
         ++executed;
     }
@@ -53,7 +61,7 @@ EventQueue::run(Tick limit)
 void
 EventQueue::reset()
 {
-    events_ = decltype(events_){};
+    events_.clear();
     _now = 0;
     nextSeq_ = 0;
 }

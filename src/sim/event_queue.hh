@@ -13,7 +13,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "sim/types.hh"
@@ -83,9 +82,15 @@ class EventQueue
         }
     };
 
+    /** Pop the earliest event off the heap and return it by value. */
+    Event popNext();
+
     Tick _now = 0;
     std::uint64_t nextSeq_ = 0;
-    std::priority_queue<Event, std::vector<Event>, Later> events_;
+    /** Binary heap ordered by Later (front() is the earliest event);
+     *  maintained with std::push_heap/std::pop_heap so elements can be
+     *  moved out safely, unlike std::priority_queue::top(). */
+    std::vector<Event> events_;
 };
 
 } // namespace flashsim

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <vector>
 
 namespace flashsim
@@ -27,7 +28,10 @@ namespace
 void
 emit(const char *prefix, const char *fmt, std::va_list args)
 {
+    // Serialise whole messages: sweep-runner workers log concurrently.
+    static std::mutex mu;
     std::string msg = vstrprintf(fmt, args);
+    std::lock_guard<std::mutex> lock(mu);
     std::fprintf(stderr, "%s: %s\n", prefix, msg.c_str());
 }
 

@@ -25,7 +25,7 @@ void
 Distribution::reset()
 {
     count_ = 0;
-    sum_ = min_ = max_ = 0.0;
+    sum_ = min_ = max_ = last_ = 0.0;
 }
 
 double

@@ -1,0 +1,137 @@
+#include "sim/sweep.hh"
+
+#include <chrono>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "sim/logging.hh"
+
+namespace flashsim::sim
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+} // namespace
+
+int
+resolveWorkers(int requested)
+{
+    if (requested > 0)
+        return requested;
+    if (const char *env = std::getenv("FLASHSIM_JOBS")) {
+        char *end = nullptr;
+        long v = std::strtol(env, &end, 10);
+        if (end != env && v >= 1 && v <= 4096)
+            return static_cast<int>(v);
+        warn("sweep: ignoring invalid FLASHSIM_JOBS='%s'", env);
+    }
+    unsigned hc = std::thread::hardware_concurrency();
+    return hc ? static_cast<int>(hc) : 1;
+}
+
+void
+SweepRunner::runIndexed(std::size_t count,
+                        const std::function<void(std::size_t)> &body)
+{
+    metrics_ = SweepMetrics{};
+    metrics_.jobs.resize(count);
+    const int nw = static_cast<int>(
+        std::min<std::size_t>(static_cast<std::size_t>(workers_),
+                              count ? count : 1));
+    metrics_.workers = nw;
+    const auto sweep_start = Clock::now();
+
+    if (nw <= 1) {
+        for (std::size_t i = 0; i < count; ++i) {
+            const auto job_start = Clock::now();
+            body(i);
+            metrics_.jobs[i] = {secondsSince(job_start), 0};
+        }
+        metrics_.wallSeconds = secondsSince(sweep_start);
+        for (const JobMetrics &j : metrics_.jobs)
+            metrics_.serialSeconds += j.wallSeconds;
+        return;
+    }
+
+    // Round-robin pre-distribution over per-worker deques. A worker
+    // pops from its own front and steals from a victim's back; since
+    // jobs never enqueue further jobs, an empty scan means the pool is
+    // drained and the worker can exit.
+    struct WorkerQueue
+    {
+        std::mutex mu;
+        std::deque<std::size_t> q;
+    };
+    std::vector<WorkerQueue> queues(static_cast<std::size_t>(nw));
+    for (std::size_t i = 0; i < count; ++i)
+        queues[i % static_cast<std::size_t>(nw)].q.push_back(i);
+
+    std::mutex err_mu;
+    std::exception_ptr first_error;
+
+    auto worker = [&](int w) {
+        for (;;) {
+            std::size_t idx = 0;
+            bool got = false;
+            {
+                WorkerQueue &own = queues[static_cast<std::size_t>(w)];
+                std::lock_guard<std::mutex> lock(own.mu);
+                if (!own.q.empty()) {
+                    idx = own.q.front();
+                    own.q.pop_front();
+                    got = true;
+                }
+            }
+            for (int v = 0; !got && v < nw; ++v) {
+                if (v == w)
+                    continue;
+                WorkerQueue &victim = queues[static_cast<std::size_t>(v)];
+                std::lock_guard<std::mutex> lock(victim.mu);
+                if (!victim.q.empty()) {
+                    idx = victim.q.back();
+                    victim.q.pop_back();
+                    got = true;
+                }
+            }
+            if (!got)
+                return;
+            const auto job_start = Clock::now();
+            try {
+                body(idx);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(err_mu);
+                if (!first_error)
+                    first_error = std::current_exception();
+            }
+            metrics_.jobs[idx] = {secondsSince(job_start), w};
+        }
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(nw));
+    for (int w = 0; w < nw; ++w)
+        threads.emplace_back(worker, w);
+    for (std::thread &t : threads)
+        t.join();
+
+    metrics_.wallSeconds = secondsSince(sweep_start);
+    for (const JobMetrics &j : metrics_.jobs)
+        metrics_.serialSeconds += j.wallSeconds;
+
+    if (first_error)
+        std::rethrow_exception(first_error);
+}
+
+} // namespace flashsim::sim

@@ -120,6 +120,21 @@ TEST(EventQueue, ResetClearsEverything)
     EXPECT_EQ(ran, 0);
 }
 
+TEST(EventQueue, FifoPreservedAcrossHeapReordering)
+{
+    // Scrambled submission times with several same-tick groups: the
+    // heap must still run ticks in order and same-tick events FIFO
+    // (this pins the std::pop_heap-based pop, which replaced the
+    // const_cast move out of priority_queue::top()).
+    EventQueue eq;
+    std::vector<int> order;
+    const Cycles ticks[] = {5, 1, 5, 3, 1, 5, 3, 1};
+    for (int i = 0; i < 8; ++i)
+        eq.schedule(ticks[i], [&order, i] { order.push_back(i); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 4, 7, 3, 6, 0, 2, 5}));
+}
+
 TEST(EventQueue, ManyEventsStressOrdering)
 {
     EventQueue eq;

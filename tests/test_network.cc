@@ -63,6 +63,36 @@ TEST(MeshNetwork, CountsDataMessages)
     EXPECT_EQ(net.dataMessages, 1u);
 }
 
+TEST(MeshNetwork, SelfSendPaysOnlyEntryExitInAverageMode)
+{
+    // Regression: a self-send never enters the mesh, so it must not be
+    // charged the average internal hop count (which itself excludes
+    // self-pairs) — only entry + exit at 4 cycles each plus the 3
+    // header cycles.
+    EventQueue eq;
+    MeshNetwork net(eq, 16);
+    EXPECT_EQ(net.transit(5, 5), 2u * 4u + 3u);
+    EXPECT_LT(net.transit(5, 5), net.avgTransit());
+    // Distinct pairs still pay the fixed average.
+    EXPECT_EQ(net.transit(5, 6), net.avgTransit());
+}
+
+TEST(MeshNetwork, SelfSendPaysOnlyEntryExitInDistanceMode)
+{
+    EventQueue eq;
+    MeshParams p;
+    p.distanceBased = true;
+    MeshNetwork net(eq, 16, p);
+    EXPECT_EQ(net.transit(5, 5), 2u * 4u + 3u);
+
+    // Delivery honours the reduced self-send latency.
+    Tick delivered = 0;
+    net.connect(5, [&](const protocol::Message &) { delivered = eq.now(); });
+    net.send(msg(5, 5));
+    eq.run();
+    EXPECT_EQ(delivered, 2u * 4u + 3u);
+}
+
 TEST(MeshNetwork, DistanceBasedTransit)
 {
     EventQueue eq;

@@ -41,6 +41,22 @@ TEST(Distribution, ResetClears)
     EXPECT_EQ(d.sum(), 0.0);
 }
 
+TEST(Distribution, ResetClearsLastSample)
+{
+    // Regression: reset() used to leave last_ stale, so a reused
+    // distribution reported the previous run's final sample.
+    Distribution d;
+    d.sample(42);
+    d.reset();
+    EXPECT_EQ(d.last(), 0.0);
+    EXPECT_EQ(d.min(), 0.0);
+    EXPECT_EQ(d.max(), 0.0);
+    d.sample(7);
+    EXPECT_DOUBLE_EQ(d.last(), 7.0);
+    EXPECT_DOUBLE_EQ(d.min(), 7.0);
+    EXPECT_DOUBLE_EQ(d.max(), 7.0);
+}
+
 TEST(Occupancy, FractionOfInterval)
 {
     Occupancy o;
