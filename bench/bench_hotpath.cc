@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Google-Benchmark microbenchmarks over the simulator's two hot paths
+ * (the event core and the PP emulator) plus a whole-node miss
+ * round-trip, tracked across PRs via BENCH_hotpath.json (see
+ * scripts/bench_hotpath.sh). Unlike the evaluation benches (which
+ * reproduce paper tables), this suite measures the *simulator's* own
+ * speed, the ROADMAP's "as fast as the hardware allows" axis.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "machine/machine.hh"
+#include "ppisa/ppsim.hh"
+#include "protocol/pp_programs.hh"
+#include "sim/event_queue.hh"
+
+namespace
+{
+
+using namespace flashsim;
+
+/**
+ * Capture payload matching what the simulator actually schedules: the
+ * MAGIC/network/processor lambdas carry a protocol::Message (or more)
+ * by value, ~40 bytes on top of the object pointer — past the inline
+ * buffer of a libstdc++ std::function, so this is the capture shape
+ * whose allocation behaviour matters.
+ */
+struct EventPayload
+{
+    std::uint64_t addr;
+    std::uint64_t aux;
+    std::uint32_t src, dest, req, type;
+};
+
+/**
+ * Classic hold model: keep @p depth events pending, each iteration
+ * schedules one event at a pseudo-random small delay and executes one.
+ * Exercises schedule + pop at a steady queue depth.
+ */
+void
+BM_EventQueueHold(benchmark::State &state)
+{
+    const std::size_t depth = static_cast<std::size_t>(state.range(0));
+    EventQueue eq;
+    std::uint64_t sink = 0;
+    std::uint32_t lcg = 12345;
+    auto delay = [&]() -> Cycles {
+        lcg = lcg * 1664525u + 1013904223u;
+        return (lcg >> 20) & 0xff; // 0..255 cycles: near-term events
+    };
+    auto post = [&](Cycles d) {
+        EventPayload p{sink, d, 1, 2, 3, 4};
+        eq.schedule(d, [&sink, p] { sink += p.addr ^ p.aux; });
+    };
+    for (std::size_t i = 0; i < depth; ++i)
+        post(delay());
+    for (auto _ : state) {
+        post(delay());
+        eq.step();
+    }
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+/** Hold model with far-future delays (overflow/heap level). */
+void
+BM_EventQueueHoldFar(benchmark::State &state)
+{
+    const std::size_t depth = static_cast<std::size_t>(state.range(0));
+    EventQueue eq;
+    std::uint64_t sink = 0;
+    std::uint32_t lcg = 99999;
+    auto delay = [&]() -> Cycles {
+        lcg = lcg * 1664525u + 1013904223u;
+        return 4096 + ((lcg >> 16) & 0xfff); // beyond any near-term ring
+    };
+    auto post = [&](Cycles d) {
+        EventPayload p{sink, d, 1, 2, 3, 4};
+        eq.schedule(d, [&sink, p] { sink += p.addr ^ p.aux; });
+    };
+    for (std::size_t i = 0; i < depth; ++i)
+        post(delay());
+    for (auto _ : state) {
+        post(delay());
+        eq.step();
+    }
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+/**
+ * Bulk schedule + drain: fill the queue with @p depth events, run to
+ * empty. The shape of Machine::run's inner life (bursts of nearby
+ * events), measured end to end.
+ */
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    const std::size_t depth = static_cast<std::size_t>(state.range(0));
+    EventQueue eq;
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        std::uint32_t lcg = 7;
+        for (std::size_t i = 0; i < depth; ++i) {
+            lcg = lcg * 1664525u + 1013904223u;
+            Cycles d = (lcg >> 20) & 0x3ff;
+            EventPayload p{sink, d, 1, 2, 3, 4};
+            eq.schedule(d, [&sink, p] { sink += p.addr ^ p.aux; });
+        }
+        eq.run();
+    }
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(depth));
+}
+
+/**
+ * PP handler dispatch: execute protocol handler programs back to back
+ * the way PpTimingModel does per invocation (register-file setup +
+ * emulated execution). The mix alternates the hot read path (GET at
+ * home, clean) with the cheap forward program.
+ */
+void
+BM_PpHandlerDispatch(benchmark::State &state)
+{
+    using protocol::Message;
+    using protocol::MsgType;
+
+    static const protocol::HandlerPrograms programs =
+        protocol::buildHandlerPrograms();
+    ppisa::PpSim sim;
+    ppisa::FlatPpMemory mem;
+    ppisa::RunStats stats;
+    std::vector<ppisa::SentMessage> sent;
+
+    Message get;
+    get.type = MsgType::NetGet;
+    get.src = 1;
+    get.dest = 0;
+    get.requester = 1;
+    get.addr = 0x10000;
+
+    Message fwd;
+    fwd.type = MsgType::PiGet;
+    fwd.src = 0;
+    fwd.dest = 0;
+    fwd.requester = 0;
+    fwd.addr = 0x20000;
+
+    Cycles total = 0;
+    for (auto _ : state) {
+        {
+            const ppisa::Program &p =
+                programs.forMessage(get.type, /*at_home=*/true);
+            ppisa::RegFile regs =
+                protocol::makeHandlerRegs(get, 0, 0, false);
+            sent.clear();
+            total += sim.run(p, regs, mem, sent, stats);
+        }
+        {
+            const ppisa::Program &p =
+                programs.forMessage(fwd.type, /*at_home=*/false);
+            ppisa::RegFile regs =
+                protocol::makeHandlerRegs(fwd, 0, 1, false);
+            sent.clear();
+            total += sim.run(p, regs, mem, sent, stats);
+        }
+    }
+    benchmark::DoNotOptimize(total);
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 2);
+}
+
+/**
+ * Whole-node miss round-trip: processor 0 streams reads over lines
+ * homed on node 1 (remote-clean misses), every one a full PI -> MAGIC
+ * -> network -> home PP -> reply round trip with the PP emulator in the
+ * loop. One benchmark iteration = one whole machine lifetime, so this
+ * tracks the end-to-end cost of everything the simulator does per miss.
+ */
+void
+BM_MissRoundTrip(benchmark::State &state)
+{
+    constexpr int kLines = 512;
+    std::uint64_t misses = 0;
+    for (auto _ : state) {
+        machine::MachineConfig cfg = machine::MachineConfig::flash(4);
+        machine::Machine m(cfg);
+        Addr base = m.alloc(kLines * kLineSize, /*node=*/1);
+        auto workload = [base](tango::Env &env) -> tango::Task {
+            co_await env.busy(0);
+            if (env.id() != 0)
+                co_return;
+            for (int i = 0; i < kLines; ++i)
+                co_await env.read(base +
+                                  static_cast<Addr>(i) * kLineSize);
+        };
+        m.run(workload);
+        m.drain();
+        misses += kLines;
+    }
+    benchmark::DoNotOptimize(misses);
+    state.SetItemsProcessed(static_cast<std::int64_t>(misses));
+}
+
+BENCHMARK(BM_EventQueueHold)->Arg(1)->Arg(16)->Arg(256)->Arg(4096);
+BENCHMARK(BM_EventQueueHoldFar)->Arg(256)->Arg(4096);
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(64)->Arg(1024)->Arg(16384);
+BENCHMARK(BM_PpHandlerDispatch);
+BENCHMARK(BM_MissRoundTrip)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

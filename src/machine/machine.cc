@@ -146,12 +146,17 @@ std::unordered_map<std::uint64_t, Counter>
 Machine::pageHeat() const
 {
     std::unordered_map<std::uint64_t, Counter> heat;
+    std::size_t entries = 0;
+    for (const auto &n : nodes_)
+        entries += n->magic().pageRemoteAccesses.size();
+    heat.reserve(entries);
     const std::uint64_t base_page = base_ / cfg_.pageBytes;
     for (const auto &n : nodes_) {
         for (const auto &[abs_page, count] :
              n->magic().pageRemoteAccesses)
             heat[abs_page - base_page] += count;
     }
+    // NRVO/move: the aggregate is handed to the caller, never copied.
     return heat;
 }
 

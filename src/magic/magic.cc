@@ -54,6 +54,12 @@ Magic::Magic(EventQueue &eq, NodeId self, const MagicParams &params,
     } else {
         timing_ = std::make_unique<TableTimingModel>();
     }
+    if (params_.monitorPages) {
+        // Page-monitoring counters grow one entry per remotely accessed
+        // local page; pre-size past any workload in-tree so the counting
+        // in the handler path never rehashes.
+        pageRemoteAccesses.reserve(1024);
+    }
 }
 
 Magic::~Magic() = default;

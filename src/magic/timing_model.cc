@@ -1,8 +1,11 @@
 #include "magic/timing_model.hh"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
+
+#include "ppisa/decode.hh"
 
 #include "sim/logging.hh"
 
@@ -106,25 +109,51 @@ PpTimingModel::PpTimingModel(const protocol::HandlerPrograms &programs,
     : programs_(programs), params_(params),
       mdc_(params.mdcBytes, params.mdcAssoc, params.mdcLineBytes),
       shadow_(dir, mdc_, params.mdcMissPenalty)
-{}
+{
+    // Resolve the (type, at_home) -> program mapping once — the handler
+    // load point — pre-decoding each program so no dispatch or decode
+    // work remains on the per-message path. Entries aliasing the same
+    // program share a warm slot (see DispatchEntry).
+    std::vector<const ppisa::Program *> uniq;
+    for (int t = 0; t < protocol::kNumMsgTypes; ++t) {
+        for (int at_home = 0; at_home < 2; ++at_home) {
+            const ppisa::Program *prog = programs_.forMessageOrNull(
+                static_cast<protocol::MsgType>(t), at_home != 0);
+            if (prog == nullptr)
+                continue;
+            prog->decoded();
+            auto it = std::find(uniq.begin(), uniq.end(), prog);
+            if (it == uniq.end())
+                it = uniq.insert(uniq.end(), prog);
+            dispatch_[static_cast<std::size_t>(t)]
+                     [static_cast<std::size_t>(at_home)] = DispatchEntry{
+                prog, static_cast<std::int8_t>(it - uniq.begin())};
+        }
+    }
+}
 
 void
 PpTimingModel::preHandler(const protocol::Message &msg, NodeId self,
                           NodeId home, bool cache_dirty)
 {
-    const ppisa::Program &prog =
-        programs_.forMessage(msg.type, home == self);
+    const DispatchEntry &e =
+        dispatch_[static_cast<std::size_t>(msg.type)][home == self ? 1 : 0];
+    if (e.prog == nullptr)
+        panic("HandlerPrograms: no program for type %d",
+              static_cast<int>(msg.type));
     shadow_.reset();
     ppisa::RegFile regs =
         protocol::makeHandlerRegs(msg, self, home, cache_dirty);
     std::vector<ppisa::SentMessage> sent;
-    Cycles cycles = sim_.run(prog, regs, shadow_, sent, stats_);
+    Cycles cycles = sim_.run(*e.prog, regs, shadow_, sent, stats_);
 
     last_ = HandlerTiming{};
     last_.occupancy = cycles;
     last_.mdcMisses = shadow_.misses;
     last_.mdcWritebacks = shadow_.writebacks;
-    if (warmPrograms_.insert(&prog).second) {
+    bool &warm = warm_[static_cast<std::size_t>(e.warmSlot)];
+    if (!warm) {
+        warm = true;
         last_.micColdMiss = true;
         last_.occupancy += params_.micColdMiss;
     }

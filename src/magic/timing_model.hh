@@ -18,9 +18,9 @@
 #ifndef FLASHSIM_MAGIC_TIMING_MODEL_HH_
 #define FLASHSIM_MAGIC_TIMING_MODEL_HH_
 
+#include <array>
 #include <memory>
 #include <unordered_map>
-#include <unordered_set>
 
 #include "magic/magic_cache.hh"
 #include "magic/params.hh"
@@ -118,6 +118,23 @@ class PpTimingModel : public HandlerTimingModel
         std::unordered_map<Addr, std::uint64_t> writes_;
     };
 
+    /**
+     * One slot of the pre-resolved dispatch table: the handler program
+     * for a (message type, at-home) combination, with its instruction
+     * decode and MIC warm-up state resolved once at construction
+     * instead of per invocation (forMessage switch + hash-set probe).
+     * warmSlot indexes warm_ and is shared by every table entry that
+     * aliases the same program (e.g. niFetchOp serves both PiFetchOp
+     * at home and NetFetchOp), so a handler warms the MIC once no
+     * matter which path first dispatches it — the same semantics the
+     * old per-pointer set had.
+     */
+    struct DispatchEntry
+    {
+        const ppisa::Program *prog = nullptr;
+        std::int8_t warmSlot = -1;
+    };
+
     const protocol::HandlerPrograms &programs_;
     MagicParams params_;
     MagicCache mdc_;
@@ -125,7 +142,10 @@ class PpTimingModel : public HandlerTimingModel
     ppisa::PpSim sim_;
     ppisa::RunStats stats_;
     HandlerTiming last_;
-    std::unordered_set<const ppisa::Program *> warmPrograms_;
+    std::array<std::array<DispatchEntry, 2>, protocol::kNumMsgTypes>
+        dispatch_{};
+    /** Per-unique-program "has run at least once" (MIC cold-miss). */
+    std::array<bool, protocol::kNumMsgTypes * 2> warm_{};
 };
 
 } // namespace flashsim::magic

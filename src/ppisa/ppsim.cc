@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "ppisa/decode.hh"
 #include "sim/logging.hh"
 
 namespace flashsim::ppisa
@@ -232,11 +233,230 @@ countInstr(const Instr &in, RunStats &stats)
         ++stats.aluBranch;
 }
 
+/** Per-slot execution over a decoded micro-op: execSlot with the
+ *  bitfield masks and branch targets already resolved. */
+struct MicroResult
+{
+    int destReg = -1;
+    std::uint64_t destVal = 0;
+    bool branchTaken = false;
+    std::uint32_t target = 0;
+};
+
+MicroResult
+execMicro(const MicroOp &m, RegFile &regs, PpMemory &mem,
+          std::vector<SentMessage> &sent, Cycles &stall)
+{
+    MicroResult r;
+    auto rs = [&] { return regs[m.rs]; };
+    auto rt = [&] { return regs[m.rt]; };
+    auto setDest = [&](std::uint64_t v) {
+        r.destReg = m.rd;
+        r.destVal = v;
+    };
+    auto branch = [&] {
+        r.branchTaken = true;
+        r.target = m.target;
+    };
+
+    switch (m.op) {
+      case Op::Nop:
+        break;
+      case Op::Add: setDest(rs() + rt()); break;
+      case Op::Sub: setDest(rs() - rt()); break;
+      case Op::And: setDest(rs() & rt()); break;
+      case Op::Or: setDest(rs() | rt()); break;
+      case Op::Xor: setDest(rs() ^ rt()); break;
+      case Op::Sllv: setDest(rs() << (rt() & 63)); break;
+      case Op::Srlv: setDest(rs() >> (rt() & 63)); break;
+      case Op::Slt:
+        setDest(static_cast<std::int64_t>(rs()) <
+                        static_cast<std::int64_t>(rt())
+                    ? 1
+                    : 0);
+        break;
+      case Op::Sltu: setDest(rs() < rt() ? 1 : 0); break;
+      case Op::Addi:
+        setDest(rs() + static_cast<std::uint64_t>(m.imm));
+        break;
+      case Op::Andi:
+        setDest(rs() & static_cast<std::uint64_t>(m.imm));
+        break;
+      case Op::Ori:
+        setDest(rs() | static_cast<std::uint64_t>(m.imm));
+        break;
+      case Op::Xori:
+        setDest(rs() ^ static_cast<std::uint64_t>(m.imm));
+        break;
+      case Op::Slli: setDest(rs() << (m.imm & 63)); break;
+      case Op::Srli: setDest(rs() >> (m.imm & 63)); break;
+      case Op::Srai:
+        setDest(static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(rs()) >> (m.imm & 63)));
+        break;
+      case Op::Slti:
+        setDest(static_cast<std::int64_t>(rs()) < m.imm ? 1 : 0);
+        break;
+      case Op::Ld: {
+        Cycles extra = 0;
+        std::uint64_t v =
+            mem.load(rs() + static_cast<std::uint64_t>(m.imm), extra);
+        stall += extra;
+        setDest(v);
+        break;
+      }
+      case Op::Sd: {
+        Cycles extra = 0;
+        mem.store(rs() + static_cast<std::uint64_t>(m.imm), rt(), extra);
+        stall += extra;
+        break;
+      }
+      case Op::Beq:
+        if (rs() == rt())
+            branch();
+        break;
+      case Op::Bne:
+        if (rs() != rt())
+            branch();
+        break;
+      case Op::J:
+        branch();
+        break;
+      case Op::Halt:
+        break;
+      case Op::Ffs: {
+        std::uint64_t v = rs();
+        setDest(v == 0 ? 64 : static_cast<std::uint64_t>(
+                                  __builtin_ctzll(v)));
+        break;
+      }
+      case Op::Bbs:
+        if ((rs() >> m.lo) & 1)
+            branch();
+        break;
+      case Op::Bbc:
+        if (!((rs() >> m.lo) & 1))
+            branch();
+        break;
+      case Op::Ext:
+        setDest((rs() >> m.lo) & m.mask);
+        break;
+      case Op::Ins:
+        setDest((regs[m.rd] & ~m.mask) | ((rs() << m.lo) & m.mask));
+        break;
+      case Op::Orfi:
+        setDest(rs() | m.mask);
+        break;
+      case Op::Andfi:
+        setDest(rs() & ~m.mask);
+        break;
+      case Op::Send:
+        sent.push_back(
+            SentMessage{static_cast<int>(m.imm), rs(), rt()});
+        break;
+    }
+    return r;
+}
+
+/** Name the offending register the way the interpreter did: first
+ *  source of slot a then slot b that hits a previous-pair load dest. */
+[[noreturn]] void
+panicLoadDelay(const DecodedPair &pair, std::size_t pc,
+               const DecodedProgram &d, std::uint32_t prev_load_mask)
+{
+    for (const MicroOp *m : {&pair.a, &pair.b}) {
+        for (std::uint8_t i = 0; i < m->nsrcs; ++i) {
+            const std::uint8_t src = m->srcs[i];
+            if (src != 0 && ((prev_load_mask >> src) & 1))
+                panic("PpSim: load-delay violation on r%d at pair %zu "
+                      "of '%s'", int(src), pc, d.name().c_str());
+        }
+    }
+    panic("PpSim: load-delay violation at pair %zu of '%s'", pc,
+          d.name().c_str()); // unreachable: mask hit implies a source
+}
+
 } // namespace
 
 Cycles
 PpSim::run(const Program &prog, RegFile &regs, PpMemory &mem,
            std::vector<SentMessage> &sent, RunStats &stats) const
+{
+    if (prog.pairs.empty())
+        panic("PpSim: empty program '%s'", prog.name.c_str());
+
+    const DecodedProgram &d = prog.decoded();
+    const DecodedPair *pairs = d.pairs().data();
+    const std::size_t npairs = d.pairs().size();
+
+    Cycles cycles = 0;
+    std::size_t pc = 0;
+    // Load destinations of the previous pair; reading one this pair
+    // violates the load-delay scheduling contract.
+    std::uint32_t prevLoadMask = 0;
+
+    while (true) {
+        if (pc >= npairs)
+            panic("PpSim: pc %zu out of range in '%s'", pc,
+                  d.name().c_str());
+        const DecodedPair &pair = pairs[pc];
+
+        // Contract verdicts were resolved at decode time; act on them
+        // in the interpreter's check order (intra-pair, load-delay,
+        // two-branch) only now that the pair is dynamically reached.
+        using Violation = DecodedPair::Violation;
+        if (pair.violation == Violation::IntraRaw) [[unlikely]]
+            panic("PpSim: intra-pair RAW on r%d at pair %zu of '%s'",
+                  int(pair.violationReg), pc, d.name().c_str());
+        if (pair.violation == Violation::IntraWaw) [[unlikely]]
+            panic("PpSim: intra-pair WAW on r%d at pair %zu of '%s'",
+                  int(pair.violationReg), pc, d.name().c_str());
+        if ((pair.srcMask & prevLoadMask) != 0) [[unlikely]]
+            panicLoadDelay(pair, pc, d, prevLoadMask);
+        if (pair.violation == Violation::TwoBranch) [[unlikely]]
+            panic("PpSim: two branches in pair %zu of '%s'", pc,
+                  d.name().c_str());
+
+        Cycles stall = 0;
+        MicroResult ra = execMicro(pair.a, regs, mem, sent, stall);
+        MicroResult rb = execMicro(pair.b, regs, mem, sent, stall);
+        // Parallel write-back (no intra-pair deps, so order is moot).
+        if (ra.destReg > 0)
+            regs[ra.destReg] = ra.destVal;
+        if (rb.destReg > 0)
+            regs[rb.destReg] = rb.destVal;
+        regs[0] = 0;
+
+        stats.instrs += pair.instrsInc;
+        stats.specials += pair.specialsInc;
+        stats.aluBranch += pair.aluBranchInc;
+        ++stats.pairs;
+        cycles += 1 + stall;
+        stats.memStall += stall;
+
+        prevLoadMask = pair.loadMask;
+
+        if (pair.halts)
+            break;
+        if (ra.branchTaken)
+            pc = ra.target;
+        else if (rb.branchTaken)
+            pc = rb.target;
+        else
+            ++pc;
+
+        if (cycles > kMaxCycles)
+            panic("PpSim: runaway handler '%s'", d.name().c_str());
+    }
+
+    stats.cycles += cycles;
+    ++stats.invocations;
+    return cycles;
+}
+
+Cycles
+PpSim::runReference(const Program &prog, RegFile &regs, PpMemory &mem,
+                    std::vector<SentMessage> &sent, RunStats &stats) const
 {
     if (prog.pairs.empty())
         panic("PpSim: empty program '%s'", prog.name.c_str());

@@ -16,6 +16,7 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -24,6 +25,8 @@
 
 namespace flashsim::ppisa
 {
+
+class DecodedProgram;
 
 /**
  * A fully scheduled PP handler program.
@@ -41,6 +44,24 @@ struct Program
     std::size_t codeBytes() const { return pairs.size() * 8; }
 
     std::string toString() const;
+
+    /**
+     * The pre-decoded image of this program (see decode.hh), built
+     * lazily on first use and cached. Rebuilt automatically when the
+     * program is reloaded (the cache remembers which pairs storage it
+     * was decoded from, and reassignment replaces that storage). Only
+     * an in-place mutation of an existing pairs vector that keeps both
+     * data pointer and size needs invalidateDecodeCache(). Lazy build
+     * is not thread-safe; machines own their programs, so cross-thread
+     * sharing does not occur in-tree.
+     */
+    const DecodedProgram &decoded() const;
+
+    /** Drop the cached decode (after in-place mutation of pairs). */
+    void invalidateDecodeCache() const;
+
+  private:
+    mutable std::shared_ptr<const DecodedProgram> decoded_;
 };
 
 /**
@@ -125,6 +146,11 @@ class PpSim
      * the load is a panic (the real PP has no interlocks, so such code is
      * simply broken).
      *
+     * Runs over the program's cached decode (Program::decoded()); the
+     * architectural behaviour — register/memory/message effects, cycle
+     * charges, statistics, and every contract panic — is identical to
+     * runReference().
+     *
      * @param regs     register file (r0 forced to zero); updated in place.
      * @param mem      protocol-data memory (MDC timing hook).
      * @param sent     messages launched by Send, in order.
@@ -133,6 +159,17 @@ class PpSim
      */
     Cycles run(const Program &prog, RegFile &regs, PpMemory &mem,
                std::vector<SentMessage> &sent, RunStats &stats) const;
+
+    /**
+     * The original per-issue-slot interpreter, which re-decodes each
+     * instruction (bitfields, source/dest sets, contract checks) every
+     * time it executes. Kept as the conformance oracle for the decode
+     * cache: tests run every opcode through both paths and require
+     * identical results.
+     */
+    Cycles runReference(const Program &prog, RegFile &regs, PpMemory &mem,
+                        std::vector<SentMessage> &sent,
+                        RunStats &stats) const;
 };
 
 } // namespace flashsim::ppisa

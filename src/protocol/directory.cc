@@ -54,6 +54,10 @@ LinkEntry::pack() const
 DirectoryStore::DirectoryStore(std::uint32_t pool_limit)
     : poolLimit_(pool_limit)
 {
+    // Header + link words accumulate one entry per touched line; start
+    // with room for a few thousand lines so the PP/handler load-store
+    // path does not rehash mid-simulation.
+    words_.reserve(8192);
     mirrorFreeHead();
 }
 

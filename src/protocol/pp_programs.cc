@@ -634,34 +634,45 @@ buildHandlerPrograms(const ppc::CompileOptions &opts)
 const ppisa::Program &
 HandlerPrograms::forMessage(MsgType t, bool at_home) const
 {
-    switch (t) {
-      case MsgType::PiGet: return at_home ? piGetLocal : piGetRemote;
-      case MsgType::PiGetx: return at_home ? piGetxLocal : piGetxRemote;
-      case MsgType::PiWriteback: return at_home ? piWbLocal : piWbRemote;
-      case MsgType::PiReplaceHint:
-        return at_home ? piHintLocal : piHintRemote;
-      case MsgType::NetGet: return niGet;
-      case MsgType::NetGetx: return niGetx;
-      case MsgType::NetFwdGet: return niFwdGet;
-      case MsgType::NetFwdGetx: return niFwdGetx;
-      case MsgType::NetSwb: return niSwb;
-      case MsgType::NetOwnXfer: return niOwnXfer;
-      case MsgType::NetInval: return niInval;
-      case MsgType::NetInvalAck: return niInvalAck;
-      case MsgType::NetPut: return niPut;
-      case MsgType::NetPutx: return niPutx;
-      case MsgType::NetNack: return niNack;
-      case MsgType::NetWriteback: return niWb;
-      case MsgType::NetReplaceHint: return niHint;
-      case MsgType::NetBlockXfer: return niBlockXfer;
-      case MsgType::NetBlockAck: return niBlockAck;
-      case MsgType::PiFetchOp:
-        return at_home ? niFetchOp : piFetchOpRemote;
-      case MsgType::NetFetchOp: return niFetchOp;
-      case MsgType::NetFetchOpAck: return niFetchOpAck;
-      default:
+    const ppisa::Program *p = forMessageOrNull(t, at_home);
+    if (p == nullptr)
         panic("HandlerPrograms: no program for type %d",
               static_cast<int>(t));
+    return *p;
+}
+
+const ppisa::Program *
+HandlerPrograms::forMessageOrNull(MsgType t, bool at_home) const
+{
+    switch (t) {
+      case MsgType::PiGet: return at_home ? &piGetLocal : &piGetRemote;
+      case MsgType::PiGetx:
+        return at_home ? &piGetxLocal : &piGetxRemote;
+      case MsgType::PiWriteback:
+        return at_home ? &piWbLocal : &piWbRemote;
+      case MsgType::PiReplaceHint:
+        return at_home ? &piHintLocal : &piHintRemote;
+      case MsgType::NetGet: return &niGet;
+      case MsgType::NetGetx: return &niGetx;
+      case MsgType::NetFwdGet: return &niFwdGet;
+      case MsgType::NetFwdGetx: return &niFwdGetx;
+      case MsgType::NetSwb: return &niSwb;
+      case MsgType::NetOwnXfer: return &niOwnXfer;
+      case MsgType::NetInval: return &niInval;
+      case MsgType::NetInvalAck: return &niInvalAck;
+      case MsgType::NetPut: return &niPut;
+      case MsgType::NetPutx: return &niPutx;
+      case MsgType::NetNack: return &niNack;
+      case MsgType::NetWriteback: return &niWb;
+      case MsgType::NetReplaceHint: return &niHint;
+      case MsgType::NetBlockXfer: return &niBlockXfer;
+      case MsgType::NetBlockAck: return &niBlockAck;
+      case MsgType::PiFetchOp:
+        return at_home ? &niFetchOp : &piFetchOpRemote;
+      case MsgType::NetFetchOp: return &niFetchOp;
+      case MsgType::NetFetchOpAck: return &niFetchOpAck;
+      default:
+        return nullptr;
     }
 }
 

@@ -82,6 +82,11 @@ struct HandlerPrograms
     /** Program dispatched for a message type (+ inbox address decode). */
     const ppisa::Program &forMessage(MsgType t, bool at_home) const;
 
+    /** Like forMessage, but nullptr for types with no handler program —
+     *  lets PpTimingModel build its dispatch table over every
+     *  (type, at_home) slot without tripping the panic. */
+    const ppisa::Program *forMessageOrNull(MsgType t, bool at_home) const;
+
     /** All programs, for code-size and toolchain statistics. */
     std::vector<const ppisa::Program *> all() const;
 

@@ -1,6 +1,7 @@
 #include "sim/event_queue.hh"
 
 #include <algorithm>
+#include <bit>
 #include <utility>
 
 #include "sim/logging.hh"
@@ -9,9 +10,17 @@ namespace flashsim
 {
 
 void
-EventQueue::schedule(Cycles delay, Callback cb)
+EventQueue::markLive(Tick when)
 {
-    scheduleAt(_now + delay, std::move(cb));
+    const std::size_t idx = when & kRingMask;
+    live_[idx >> 6] |= std::uint64_t{1} << (idx & 63);
+}
+
+void
+EventQueue::clearLive(Tick when)
+{
+    const std::size_t idx = when & kRingMask;
+    live_[idx >> 6] &= ~(std::uint64_t{1} << (idx & 63));
 }
 
 void
@@ -21,27 +30,101 @@ EventQueue::scheduleAt(Tick when, Callback cb)
         panic("event scheduled in the past (%llu < %llu)",
               static_cast<unsigned long long>(when),
               static_cast<unsigned long long>(_now));
-    events_.push_back(Event{when, nextSeq_++, std::move(cb)});
-    std::push_heap(events_.begin(), events_.end(), Later{});
+    if (when - _now < kRingSize) {
+        Bucket &b = bucketFor(when);
+        freshen(b);
+        b.events.push_back(Event{when, nextSeq_++, std::move(cb)});
+        markLive(when);
+        ++ringCount_;
+    } else {
+        overflow_.push_back(Event{when, nextSeq_++, std::move(cb)});
+        std::push_heap(overflow_.begin(), overflow_.end(), Later{});
+    }
 }
 
-EventQueue::Event
-EventQueue::popNext()
+Tick
+EventQueue::nextRingTick() const
 {
-    std::pop_heap(events_.begin(), events_.end(), Later{});
-    Event ev = std::move(events_.back());
-    events_.pop_back();
-    return ev;
+    if (ringCount_ == 0)
+        return kNever;
+    // Scan the occupancy bitmap in wrap order starting at now's slot;
+    // the window maps slots to ticks in increasing wrap distance, so
+    // the first live bucket found holds the earliest ring event.
+    const std::size_t base = _now & kRingMask;
+    std::size_t w = base >> 6;
+    std::uint64_t word = live_[w] & (~std::uint64_t{0} << (base & 63));
+    for (std::size_t n = 0; n <= kBitWords; ++n) {
+        if (word != 0) {
+            const std::size_t idx =
+                (w << 6) +
+                static_cast<std::size_t>(std::countr_zero(word));
+            const Bucket &b = ring_[idx];
+            return b.events[b.head].when;
+        }
+        w = (w + 1) & (kBitWords - 1);
+        word = live_[w];
+    }
+    return kNever; // unreachable while ringCount_ > 0
+}
+
+Tick
+EventQueue::nextTick() const
+{
+    Tick t = nextRingTick();
+    if (!overflow_.empty() && overflow_.front().when < t)
+        t = overflow_.front().when;
+    return t;
+}
+
+void
+EventQueue::promoteOverflow(Tick t)
+{
+    if (overflow_.empty() || overflow_.front().when != t)
+        return;
+    Bucket &b = bucketFor(t);
+    freshen(b);
+    const std::size_t live_begin = b.head;
+    const std::size_t live_end = b.events.size();
+    while (!overflow_.empty() && overflow_.front().when == t) {
+        std::pop_heap(overflow_.begin(), overflow_.end(), Later{});
+        b.events.push_back(std::move(overflow_.back()));
+        overflow_.pop_back();
+        ++ringCount_;
+    }
+    // Every overflow event for tick t was scheduled while t was still
+    // outside the ring window, i.e. before any event the window later
+    // accepted into the bucket — so all promoted seqs precede all live
+    // bucket seqs, and rotating them in front restores global
+    // (tick, seq) order. The heap pops them seq-ascending already.
+    if (live_end > live_begin)
+        std::rotate(b.events.begin() +
+                        static_cast<std::ptrdiff_t>(live_begin),
+                    b.events.begin() +
+                        static_cast<std::ptrdiff_t>(live_end),
+                    b.events.end());
+    markLive(t);
 }
 
 bool
 EventQueue::step()
 {
-    if (events_.empty())
+    const Tick t = nextTick();
+    if (t == kNever)
         return false;
-    Event ev = popNext();
-    _now = ev.when;
-    ev.cb();
+    _now = t;
+    promoteOverflow(t);
+    Bucket &b = bucketFor(t);
+    // Move the callback out before invoking: the callback may schedule
+    // into this same bucket and reallocate its vector.
+    Callback cb = std::move(b.events[b.head].cb);
+    ++b.head;
+    --ringCount_;
+    if (b.head == b.events.size()) {
+        b.events.clear();
+        b.head = 0;
+        clearLive(t);
+    }
+    cb();
     return true;
 }
 
@@ -49,11 +132,29 @@ std::uint64_t
 EventQueue::run(Tick limit)
 {
     std::uint64_t executed = 0;
-    while (!events_.empty() && events_.front().when <= limit) {
-        step();
-        ++executed;
+    while (true) {
+        const Tick t = nextTick();
+        if (t == kNever || t > limit)
+            break;
+        _now = t;
+        promoteOverflow(t);
+        // Drain the whole tick from its bucket: nothing earlier can
+        // appear (zero-delay schedules append to this bucket; overflow
+        // inserts land >= kRingSize ticks out), so skip the bitmap
+        // rescan until the tick completes.
+        Bucket &b = bucketFor(t);
+        while (b.head < b.events.size()) {
+            Callback cb = std::move(b.events[b.head].cb);
+            ++b.head;
+            --ringCount_;
+            cb();
+            ++executed;
+        }
+        b.events.clear();
+        b.head = 0;
+        clearLive(t);
     }
-    if (_now < limit && limit != ~Tick{0})
+    if (_now < limit && limit != kNever)
         _now = limit;
     return executed;
 }
@@ -61,7 +162,13 @@ EventQueue::run(Tick limit)
 void
 EventQueue::reset()
 {
-    events_.clear();
+    for (Bucket &b : ring_) {
+        b.events.clear();
+        b.head = 0;
+    }
+    live_.fill(0);
+    ringCount_ = 0;
+    overflow_.clear();
     _now = 0;
     nextSeq_ = 0;
 }

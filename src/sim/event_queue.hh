@@ -11,10 +11,11 @@
 #ifndef FLASHSIM_SIM_EVENT_QUEUE_HH_
 #define FLASHSIM_SIM_EVENT_QUEUE_HH_
 
+#include <array>
 #include <cstdint>
-#include <functional>
 #include <vector>
 
+#include "sim/inline_callback.hh"
 #include "sim/types.hh"
 
 namespace flashsim
@@ -26,11 +27,31 @@ namespace flashsim
  * Events are arbitrary callables. Two events scheduled for the same tick
  * run in the order they were scheduled (FIFO), which keeps hardware
  * arbitration deterministic across runs.
+ *
+ * Storage is two-level, sized for the simulator's delay profile (almost
+ * every latency is a handful of cycles, far-future events are rare):
+ *
+ *  - a power-of-two ring of per-tick buckets covering the next
+ *    kRingSize ticks. Each bucket is an append-only FIFO vector, so
+ *    schedule() into the window is push_back into recycled storage —
+ *    O(1), allocation-free in steady state, and same-tick FIFO order is
+ *    the storage order itself;
+ *  - a binary min-heap holding the overflow (events >= kRingSize ticks
+ *    out). When the clock reaches an overflow event's tick it is
+ *    promoted into that tick's bucket, merged by sequence number so the
+ *    global (tick, seq) execution order is identical to a single heap.
+ *
+ * Callbacks are InlineCallback: stored inline in the event, with a
+ * compile-time size cap instead of std::function's silent heap fallback
+ * — schedule() never allocates once bucket capacity has warmed up.
  */
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = InlineCallback;
+
+    /** Ticks covered by the near-term bucket ring (power of two). */
+    static constexpr std::size_t kRingSize = 1024;
 
     EventQueue() = default;
     EventQueue(const EventQueue &) = delete;
@@ -40,16 +61,20 @@ class EventQueue
     Tick now() const { return _now; }
 
     /** Schedule @p cb to run @p delay cycles from now. */
-    void schedule(Cycles delay, Callback cb);
+    void
+    schedule(Cycles delay, Callback cb)
+    {
+        scheduleAt(_now + delay, std::move(cb));
+    }
 
     /** Schedule @p cb at absolute time @p when (must be >= now()). */
     void scheduleAt(Tick when, Callback cb);
 
     /** True when no events remain. */
-    bool empty() const { return events_.empty(); }
+    bool empty() const { return ringCount_ == 0 && overflow_.empty(); }
 
     /** Number of pending events. */
-    std::size_t pending() const { return events_.size(); }
+    std::size_t pending() const { return ringCount_ + overflow_.size(); }
 
     /**
      * Run events until the queue drains or @p limit ticks have elapsed.
@@ -82,15 +107,58 @@ class EventQueue
         }
     };
 
-    /** Pop the earliest event off the heap and return it by value. */
-    Event popNext();
+    /**
+     * One tick's events. head indexes the next unexecuted event;
+     * entries before it have already run (their storage is recycled
+     * when the bucket drains). All live entries share the same tick:
+     * the window [now, now + kRingSize) maps each ring slot to exactly
+     * one tick, and a slot is fully drained before the window wraps
+     * back onto it.
+     */
+    struct Bucket
+    {
+        std::vector<Event> events;
+        std::size_t head = 0;
+    };
+
+    static constexpr std::size_t kRingMask = kRingSize - 1;
+    static constexpr std::size_t kBitWords = kRingSize / 64;
+    /** Sentinel for "no pending event". */
+    static constexpr Tick kNever = ~Tick{0};
+
+    Bucket &bucketFor(Tick when) { return ring_[when & kRingMask]; }
+
+    void markLive(Tick when);
+    void clearLive(Tick when);
+
+    /** Recycle a fully executed bucket's storage before reuse. */
+    static void
+    freshen(Bucket &b)
+    {
+        if (b.head != 0 && b.head == b.events.size()) {
+            b.events.clear();
+            b.head = 0;
+        }
+    }
+
+    /** Earliest pending tick in the ring, or kNever. */
+    Tick nextRingTick() const;
+    /** Earliest pending tick across both levels, or kNever. */
+    Tick nextTick() const;
+    /** Move overflow events for tick @p t into its bucket, seq-merged. */
+    void promoteOverflow(Tick t);
 
     Tick _now = 0;
     std::uint64_t nextSeq_ = 0;
-    /** Binary heap ordered by Later (front() is the earliest event);
-     *  maintained with std::push_heap/std::pop_heap so elements can be
-     *  moved out safely, unlike std::priority_queue::top(). */
-    std::vector<Event> events_;
+
+    std::array<Bucket, kRingSize> ring_{};
+    /** Occupancy bitmap: bit i set iff ring_[i] has unexecuted events. */
+    std::array<std::uint64_t, kBitWords> live_{};
+    std::size_t ringCount_ = 0;
+
+    /** Overflow min-heap (std::push_heap/std::pop_heap over a vector,
+     *  ordered by Later so front() is the earliest event). */
+    std::vector<Event> overflow_;
 };
 
 } // namespace flashsim

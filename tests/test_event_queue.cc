@@ -150,5 +150,201 @@ TEST(EventQueue, ManyEventsStressOrdering)
     EXPECT_TRUE(monotonic);
 }
 
+TEST(EventQueue, BucketRingWraparound)
+{
+    // A self-rescheduling chain whose in-window stride does not divide
+    // kRingSize walks the ring slots through many wraps without ever
+    // touching the overflow heap; each hop must land exactly where
+    // scheduled.
+    EventQueue eq;
+    constexpr Cycles kStride = 700; // < kRingSize, does not divide it
+    constexpr int kHops = 40;       // covers > 27 * kRingSize ticks
+    std::vector<Tick> at;
+    struct Hopper
+    {
+        EventQueue &eq;
+        std::vector<Tick> &at;
+        int hopsLeft;
+        void
+        operator()()
+        {
+            at.push_back(eq.now());
+            if (hopsLeft > 1)
+                eq.schedule(kStride, Hopper{eq, at, hopsLeft - 1});
+        }
+    };
+    eq.schedule(kStride, Hopper{eq, at, kHops});
+    eq.run();
+    ASSERT_EQ(at.size(), static_cast<std::size_t>(kHops));
+    for (int i = 0; i < kHops; ++i)
+        EXPECT_EQ(at[static_cast<std::size_t>(i)],
+                  static_cast<Tick>(kStride) *
+                      static_cast<Tick>(i + 1));
+    EXPECT_GT(eq.now(), EventQueue::kRingSize * 27);
+}
+
+TEST(EventQueue, FarFutureOverflowPromotion)
+{
+    // An event beyond the ring window parks in the overflow heap and is
+    // promoted into its bucket when the clock approaches; it must still
+    // run at its exact tick, before any same-tick event scheduled later.
+    EventQueue eq;
+    std::vector<int> order;
+    const Tick far = EventQueue::kRingSize * 3 + 17;
+    eq.scheduleAt(far, [&] { order.push_back(0); }); // overflow
+    eq.scheduleAt(far - 100, [&] {
+        // far is now inside the window; this lands in the bucket.
+        eq.scheduleAt(far, [&] { order.push_back(1); });
+    });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1}));
+    EXPECT_EQ(eq.now(), far);
+}
+
+TEST(EventQueue, FifoWithinTickAcrossBucketHeapBoundary)
+{
+    // Several events land on one tick via both levels: three scheduled
+    // while the tick was outside the window (heap), two more scheduled
+    // after it entered the window (bucket). Global FIFO is by schedule
+    // time, so the heap-promoted three run first, in order.
+    EventQueue eq;
+    std::vector<int> order;
+    const Tick t = EventQueue::kRingSize * 2 + 5;
+    for (int i = 0; i < 3; ++i)
+        eq.scheduleAt(t, [&order, i] { order.push_back(i); });
+    eq.scheduleAt(t - 50, [&] {
+        for (int i = 3; i < 5; ++i)
+            eq.scheduleAt(t, [&order, i] { order.push_back(i); });
+    });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, MixedNearFarStressOrdering)
+{
+    // Random mix straddling the ring/overflow boundary, including
+    // events that reschedule across it; (tick, seq) order must hold.
+    EventQueue eq;
+    std::uint32_t lcg = 42;
+    auto rnd = [&] {
+        lcg = lcg * 1664525u + 1013904223u;
+        return lcg >> 16;
+    };
+    Tick last = 0;
+    std::uint64_t executed = 0;
+    bool monotonic = true;
+    for (int i = 0; i < 5000; ++i) {
+        Cycles d = rnd() % (3 * EventQueue::kRingSize);
+        eq.schedule(d, [&] {
+            if (eq.now() < last)
+                monotonic = false;
+            last = eq.now();
+            ++executed;
+        });
+    }
+    EXPECT_EQ(eq.run(), 5000u);
+    EXPECT_TRUE(monotonic);
+    EXPECT_EQ(executed, 5000u);
+}
+
+TEST(EventQueue, ResetClearsBothLevels)
+{
+    EventQueue eq;
+    int ran = 0;
+    eq.schedule(3, [&] { ++ran; });                          // ring
+    eq.schedule(EventQueue::kRingSize * 5, [&] { ++ran; }); // overflow
+    EXPECT_EQ(eq.pending(), 2u);
+    eq.reset();
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.pending(), 0u);
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_EQ(eq.run(), 0u);
+    EXPECT_EQ(ran, 0);
+    // The queue must be fully reusable after reset.
+    eq.schedule(1, [&] { ++ran; });
+    eq.run();
+    EXPECT_EQ(ran, 1);
+}
+
+/** Instrumented callable for InlineCallback lifetime checks. */
+struct LifeProbe
+{
+    static int live;
+    static int invoked;
+    int *sink;
+
+    explicit LifeProbe(int *s) : sink(s) { ++live; }
+    LifeProbe(const LifeProbe &o) : sink(o.sink) { ++live; }
+    LifeProbe(LifeProbe &&o) noexcept : sink(o.sink) { ++live; }
+    ~LifeProbe() { --live; }
+    void
+    operator()()
+    {
+        ++invoked;
+        ++*sink;
+    }
+};
+
+int LifeProbe::live = 0;
+int LifeProbe::invoked = 0;
+
+TEST(InlineCallback, MoveTransfersOwnershipAndDestroysOnce)
+{
+    LifeProbe::live = 0;
+    LifeProbe::invoked = 0;
+    int hits = 0;
+    {
+        InlineCallback a = LifeProbe(&hits);
+        EXPECT_EQ(LifeProbe::live, 1);
+        EXPECT_TRUE(static_cast<bool>(a));
+
+        InlineCallback b = std::move(a);
+        EXPECT_EQ(LifeProbe::live, 1) << "relocate must destroy source";
+        EXPECT_FALSE(static_cast<bool>(a));
+        EXPECT_TRUE(static_cast<bool>(b));
+
+        InlineCallback c;
+        EXPECT_FALSE(static_cast<bool>(c));
+        c = std::move(b);
+        EXPECT_EQ(LifeProbe::live, 1);
+        EXPECT_FALSE(static_cast<bool>(b));
+
+        c();
+        EXPECT_EQ(hits, 1);
+        EXPECT_EQ(LifeProbe::invoked, 1);
+    }
+    EXPECT_EQ(LifeProbe::live, 0);
+}
+
+TEST(InlineCallback, MoveAssignOverExistingDestroysOld)
+{
+    LifeProbe::live = 0;
+    int x = 0, y = 0;
+    {
+        InlineCallback a = LifeProbe(&x);
+        InlineCallback b = LifeProbe(&y);
+        EXPECT_EQ(LifeProbe::live, 2);
+        a = std::move(b); // destroys a's probe, relocates b's
+        EXPECT_EQ(LifeProbe::live, 1);
+        a();
+        EXPECT_EQ(x, 0);
+        EXPECT_EQ(y, 1);
+    }
+    EXPECT_EQ(LifeProbe::live, 0);
+}
+
+TEST(InlineCallback, QueueDestroysPendingCallbacksOnReset)
+{
+    LifeProbe::live = 0;
+    int hits = 0;
+    EventQueue eq;
+    eq.schedule(10, LifeProbe(&hits));
+    eq.schedule(EventQueue::kRingSize * 2, LifeProbe(&hits));
+    EXPECT_EQ(LifeProbe::live, 2);
+    eq.reset();
+    EXPECT_EQ(LifeProbe::live, 0);
+    EXPECT_EQ(hits, 0);
+}
+
 } // namespace
 } // namespace flashsim

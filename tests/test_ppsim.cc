@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+
+#include "ppisa/decode.hh"
 #include "ppisa/instruction.hh"
 #include "ppisa/ppsim.hh"
 
@@ -317,6 +320,259 @@ TEST(PpSim, ProgramToStringContainsName)
     prog.pairs.push_back(InstrPair{halt(), nop()});
     EXPECT_NE(prog.toString().find("pi_get"), std::string::npos);
     EXPECT_EQ(prog.codeBytes(), 8u);
+}
+
+TEST(PpSim, TwoBranchesInPairPanics)
+{
+    Program prog;
+    prog.name = "bad3";
+    InstrPair p;
+    p.a = rrr(Op::Beq, 0, 0, 0);
+    p.b = rrr(Op::Bne, 0, 0, 0);
+    p.a.imm = 1;
+    p.b.imm = 1;
+    prog.pairs.push_back(p);
+    prog.pairs.push_back(InstrPair{halt(), nop()});
+    PpSim sim;
+    RegFile regs{};
+    FlatPpMemory mem;
+    std::vector<SentMessage> sent;
+    RunStats stats;
+    EXPECT_DEATH(sim.run(prog, regs, mem, sent, stats), "two branches");
+}
+
+// ---------------------------------------------------------------------------
+// Decode-cache conformance: the decoded fast path must be architecturally
+// indistinguishable from the reference per-issue interpreter.
+
+Instr
+br(Op op, int rs, int rt, std::int64_t target)
+{
+    Instr in;
+    in.op = op;
+    in.rs = static_cast<std::uint8_t>(rs);
+    in.rt = static_cast<std::uint8_t>(rt);
+    in.imm = target;
+    return in;
+}
+
+Instr
+bbit(Op op, int rs, unsigned bit, std::int64_t target)
+{
+    Instr in;
+    in.op = op;
+    in.rs = static_cast<std::uint8_t>(rs);
+    in.lo = static_cast<std::uint8_t>(bit);
+    in.imm = target;
+    return in;
+}
+
+Instr
+send(int type, int rs, int rt)
+{
+    Instr in;
+    in.op = Op::Send;
+    in.rs = static_cast<std::uint8_t>(rs);
+    in.rt = static_cast<std::uint8_t>(rt);
+    in.imm = type;
+    return in;
+}
+
+/** Everything architecturally observable from one handler run. */
+struct RunOutcome
+{
+    RegFile regs{};
+    std::vector<std::pair<Addr, std::uint64_t>> mem;
+    std::vector<SentMessage> sent;
+    RunStats stats;
+    Cycles cycles = 0;
+};
+
+RunOutcome
+execute(const Program &prog, const RegFile &init, bool reference)
+{
+    RunOutcome o;
+    o.regs = init;
+    FlatPpMemory mem;
+    mem.poke(0x100, 0xdeadbeef);
+    PpSim sim;
+    o.cycles = reference
+                   ? sim.runReference(prog, o.regs, mem, o.sent, o.stats)
+                   : sim.run(prog, o.regs, mem, o.sent, o.stats);
+    for (Addr a : {Addr{0x100}, Addr{0x108}, Addr{0xff0}, Addr{0xff8}})
+        o.mem.emplace_back(a, mem.peek(a));
+    return o;
+}
+
+void
+expectSameOutcome(const Program &prog, const RegFile &init)
+{
+    RunOutcome fast = execute(prog, init, /*reference=*/false);
+    RunOutcome ref = execute(prog, init, /*reference=*/true);
+    EXPECT_EQ(fast.regs, ref.regs);
+    EXPECT_EQ(fast.mem, ref.mem);
+    EXPECT_EQ(fast.sent, ref.sent);
+    EXPECT_EQ(fast.cycles, ref.cycles);
+    EXPECT_EQ(fast.stats.cycles, ref.stats.cycles);
+    EXPECT_EQ(fast.stats.pairs, ref.stats.pairs);
+    EXPECT_EQ(fast.stats.instrs, ref.stats.instrs);
+    EXPECT_EQ(fast.stats.specials, ref.stats.specials);
+    EXPECT_EQ(fast.stats.aluBranch, ref.stats.aluBranch);
+    EXPECT_EQ(fast.stats.memStall, ref.stats.memStall);
+    EXPECT_EQ(fast.stats.invocations, ref.stats.invocations);
+}
+
+TEST(PpDecode, MatchesReferenceOnEveryOpcode)
+{
+    // One program exercising all 31 opcodes (taken and not-taken forms
+    // of every branch), single-issue with NOP spacer pairs so pairing
+    // rules hold trivially. Branch targets are instruction indices,
+    // rewritten to pair indices below.
+    std::vector<Instr> body = {
+        /* 0*/ rri(Op::Addi, 1, 0, 0x1234),
+        /* 1*/ rri(Op::Addi, 2, 0, 0x0ff0),
+        /* 2*/ rrr(Op::Add, 3, 1, 2),
+        /* 3*/ rrr(Op::Sub, 4, 1, 2),
+        /* 4*/ rrr(Op::And, 5, 1, 2),
+        /* 5*/ rrr(Op::Or, 6, 1, 2),
+        /* 6*/ rrr(Op::Xor, 7, 1, 2),
+        /* 7*/ rri(Op::Addi, 8, 0, 3),
+        /* 8*/ rrr(Op::Sllv, 9, 1, 8),
+        /* 9*/ rrr(Op::Srlv, 10, 1, 8),
+        /*10*/ rrr(Op::Slt, 11, 1, 2),
+        /*11*/ rrr(Op::Sltu, 12, 2, 1),
+        /*12*/ rri(Op::Andi, 13, 1, 0xff),
+        /*13*/ rri(Op::Ori, 14, 1, 0xf000),
+        /*14*/ rri(Op::Xori, 15, 1, 0xffff),
+        /*15*/ rri(Op::Slli, 16, 1, 5),
+        /*16*/ rri(Op::Srli, 17, 1, 5),
+        /*17*/ rri(Op::Addi, 19, 0, -64),
+        /*18*/ rri(Op::Srai, 18, 19, 3),
+        /*19*/ rri(Op::Slti, 20, 19, 0),
+        /*20*/ rrr(Op::Sd, 0, 2, 1),
+        /*21*/ rri(Op::Ld, 21, 2, 0),
+        /*22*/ rrr(Op::Ffs, 22, 2, 0),
+        /*23*/ field(Op::Ext, 23, 1, 4, 8),
+        /*24*/ field(Op::Ins, 5, 1, 8, 4),
+        /*25*/ field(Op::Orfi, 24, 1, 16, 4),
+        /*26*/ field(Op::Andfi, 25, 1, 4, 4),
+        /*27*/ br(Op::Beq, 1, 1, 29), // taken
+        /*28*/ rri(Op::Addi, 26, 0, 999),
+        /*29*/ br(Op::Bne, 1, 2, 31), // taken
+        /*30*/ rri(Op::Addi, 27, 0, 888),
+        /*31*/ bbit(Op::Bbs, 2, 4, 33), // 0xff0 bit 4 set: taken
+        /*32*/ rri(Op::Addi, 28, 0, 777),
+        /*33*/ bbit(Op::Bbc, 2, 0, 35), // bit 0 clear: taken
+        /*34*/ rri(Op::Addi, 29, 0, 666),
+        /*35*/ br(Op::Beq, 1, 2, 0),  // not taken
+        /*36*/ br(Op::Bne, 1, 1, 0),  // not taken
+        /*37*/ bbit(Op::Bbs, 2, 0, 0), // not taken
+        /*38*/ bbit(Op::Bbc, 2, 4, 0), // not taken
+        /*39*/ send(5, 8, 1),
+        /*40*/ br(Op::J, 0, 0, 42),
+        /*41*/ rri(Op::Addi, 30, 0, 555),
+    };
+
+    Program prog;
+    prog.name = "all_ops";
+    for (const Instr &i : body) {
+        prog.pairs.push_back(InstrPair{i, nop()});
+        prog.pairs.push_back(InstrPair{nop(), nop()});
+    }
+    for (auto &p : prog.pairs)
+        if (p.a.isBranch())
+            p.a.imm *= 2;
+    prog.pairs.push_back(InstrPair{halt(), nop()});
+
+    // Guard: the program really does cover the whole ISA.
+    bool seen[32] = {};
+    for (const auto &p : prog.pairs) {
+        seen[static_cast<int>(p.a.op)] = true;
+        seen[static_cast<int>(p.b.op)] = true;
+    }
+    for (Op op :
+         {Op::Nop, Op::Add, Op::Sub, Op::And, Op::Or, Op::Xor, Op::Sllv,
+          Op::Srlv, Op::Slt, Op::Sltu, Op::Addi, Op::Andi, Op::Ori,
+          Op::Xori, Op::Slli, Op::Srli, Op::Srai, Op::Slti, Op::Ld,
+          Op::Sd, Op::Beq, Op::Bne, Op::J, Op::Halt, Op::Ffs, Op::Bbs,
+          Op::Bbc, Op::Ext, Op::Ins, Op::Orfi, Op::Andfi, Op::Send})
+        EXPECT_TRUE(seen[static_cast<int>(op)]) << opName(op);
+
+    expectSameOutcome(prog, RegFile{});
+}
+
+TEST(PpDecode, MatchesReferenceOnDualIssuePairsAndLoops)
+{
+    // Real dual-issue pairs with a backward branch (loop) and a load
+    // shadowed by the mandatory delay pair — the shapes the scheduler
+    // emits — must agree across both paths, including cycle counts.
+    Program prog;
+    prog.name = "dual";
+    // r1 = 4 (loop counter), r2 = accumulator base
+    prog.pairs.push_back(
+        InstrPair{rri(Op::Addi, 1, 0, 4), rri(Op::Addi, 2, 0, 0x100)});
+    // loop: { acc += ctr | load m[r2] } ; { ctr -= 1 | nop }
+    prog.pairs.push_back(
+        InstrPair{rrr(Op::Add, 3, 3, 1), rri(Op::Ld, 4, 2, 0)});
+    prog.pairs.push_back(
+        InstrPair{rri(Op::Addi, 1, 1, -1), nop()});
+    InstrPair back;
+    back.a = br(Op::Bne, 1, 0, 1);
+    back.b = rrr(Op::Xor, 5, 4, 3); // uses the load, one pair later: ok
+    prog.pairs.push_back(back);
+    prog.pairs.push_back(InstrPair{send(3, 1, 5), nop()});
+    prog.pairs.push_back(InstrPair{halt(), nop()});
+
+    expectSameOutcome(prog, RegFile{});
+}
+
+TEST(PpDecode, ReloadInvalidatesCache)
+{
+    Program prog;
+    prog.name = "v1";
+    prog.pairs.push_back(InstrPair{rri(Op::Addi, 1, 0, 1), nop()});
+    prog.pairs.push_back(InstrPair{halt(), nop()});
+
+    const DecodedProgram *first = &prog.decoded();
+    EXPECT_TRUE(first->matches(prog.pairs));
+    EXPECT_EQ(&prog.decoded(), first) << "second call must hit the cache";
+
+    // Reload: assigning a new program replaces the pairs storage, so
+    // the stale decode no longer matches and is rebuilt on demand.
+    Program v2;
+    v2.name = "v2";
+    v2.pairs.push_back(InstrPair{rri(Op::Addi, 1, 0, 2), nop()});
+    v2.pairs.push_back(InstrPair{halt(), nop()});
+    (void)v2.decoded(); // warm v2's own cache, then copy it across
+    prog = v2;
+
+    const DecodedProgram &redecoded = prog.decoded();
+    EXPECT_TRUE(redecoded.matches(prog.pairs));
+    EXPECT_EQ(redecoded.pairs()[0].a.imm, 2);
+
+    PpSim sim;
+    RegFile regs{};
+    FlatPpMemory mem;
+    std::vector<SentMessage> sent;
+    RunStats stats;
+    sim.run(prog, regs, mem, sent, stats);
+    EXPECT_EQ(regs[1], 2u) << "run() must execute the reloaded code";
+}
+
+TEST(PpDecode, InPlaceMutationNeedsExplicitInvalidate)
+{
+    // Mutating pairs in place keeps data pointer and size, which the
+    // fingerprint cannot see; invalidateDecodeCache() is the contract
+    // for that (no in-tree code path does this — programs are reloaded
+    // by assignment).
+    Program prog;
+    prog.name = "patch";
+    prog.pairs.push_back(InstrPair{rri(Op::Addi, 1, 0, 7), nop()});
+    prog.pairs.push_back(InstrPair{halt(), nop()});
+    (void)prog.decoded();
+    prog.pairs[0].a.imm = 9; // same storage: fingerprint unchanged
+    prog.invalidateDecodeCache();
+    EXPECT_EQ(prog.decoded().pairs()[0].a.imm, 9);
 }
 
 } // namespace
