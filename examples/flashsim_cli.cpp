@@ -8,11 +8,19 @@
  *   flashsim_cli --app fft --procs 16 --cache 64K --machine flash
  *   flashsim_cli --app os --procs 8 --placement firstfit
  *   flashsim_cli --app mp3d --no-spec --table-timing
+ *
+ * The verification layer (src/verify) is driven by --verify and the
+ * --inject-* flags:
+ *
+ *   flashsim_cli --app fft --verify
+ *   flashsim_cli --app lu --verify --inject-seed 7 \
+ *       --inject-nacks 0.05 --inject-jitter 20 --inject-drop-hints 0.1
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iostream>
 #include <string>
 
 #include "apps/workload.hh"
@@ -52,7 +60,20 @@ usage()
         "  --table-timing    Table 3.4 constants instead of PPsim\n"
         "  --baseline-pp     no ISA extensions, single issue (S5.3)\n"
         "  --distance-net    per-pair mesh distances instead of the\n"
-        "                    22-cycle average\n");
+        "                    22-cycle average\n"
+        "verification (src/verify):\n"
+        "  --verify          enable the coherence oracle and watchdog\n"
+        "  --halt-on-violation   fatal() on the first oracle violation\n"
+        "  --watchdog-interval N sampling interval (default 20000)\n"
+        "  --max-txn-age N       per-transaction age limit (400000)\n"
+        "  --no-progress N       global progress window (200000)\n"
+        "fault injection (implies deterministic seeded perturbation):\n"
+        "  --inject-seed N       injector RNG seed (default 1)\n"
+        "  --inject-jitter N     max extra mesh transit cycles\n"
+        "  --inject-nacks P      P(NACK a home request outright)\n"
+        "  --inject-drop-hints P P(drop a replacement hint)\n"
+        "  --inject-dup-hints P  P(duplicate a replacement hint)\n"
+        "  --inject-stall N      max extra inbound-queue stall cycles\n");
 }
 
 } // namespace
@@ -100,6 +121,41 @@ main(int argc, char **argv)
             cfg.magic.optimizedPp = false;
         } else if (!std::strcmp(argv[i], "--distance-net")) {
             cfg.net.distanceBased = true;
+        } else if (!std::strcmp(argv[i], "--verify")) {
+            cfg.magic.verify.oracle = true;
+            cfg.magic.verify.watchdog = true;
+        } else if (!std::strcmp(argv[i], "--halt-on-violation")) {
+            cfg.magic.verify.haltOnViolation = true;
+        } else if (!std::strcmp(argv[i], "--watchdog-interval")) {
+            cfg.magic.verify.watchdogInterval =
+                std::strtoull(next(), nullptr, 0);
+        } else if (!std::strcmp(argv[i], "--max-txn-age")) {
+            cfg.magic.verify.maxTransactionAge =
+                std::strtoull(next(), nullptr, 0);
+        } else if (!std::strcmp(argv[i], "--no-progress")) {
+            cfg.magic.verify.noProgressWindow =
+                std::strtoull(next(), nullptr, 0);
+        } else if (!std::strcmp(argv[i], "--inject-seed")) {
+            cfg.magic.verify.fault.enabled = true;
+            cfg.magic.verify.fault.seed =
+                std::strtoull(next(), nullptr, 0);
+        } else if (!std::strcmp(argv[i], "--inject-jitter")) {
+            cfg.magic.verify.fault.enabled = true;
+            cfg.magic.verify.fault.meshJitter =
+                std::strtoull(next(), nullptr, 0);
+        } else if (!std::strcmp(argv[i], "--inject-nacks")) {
+            cfg.magic.verify.fault.enabled = true;
+            cfg.magic.verify.fault.extraNackProb = std::atof(next());
+        } else if (!std::strcmp(argv[i], "--inject-drop-hints")) {
+            cfg.magic.verify.fault.enabled = true;
+            cfg.magic.verify.fault.dropHintProb = std::atof(next());
+        } else if (!std::strcmp(argv[i], "--inject-dup-hints")) {
+            cfg.magic.verify.fault.enabled = true;
+            cfg.magic.verify.fault.dupHintProb = std::atof(next());
+        } else if (!std::strcmp(argv[i], "--inject-stall")) {
+            cfg.magic.verify.fault.enabled = true;
+            cfg.magic.verify.fault.inboundStall =
+                std::strtoull(next(), nullptr, 0);
         } else {
             usage();
             return 1;
@@ -146,5 +202,19 @@ main(int argc, char **argv)
     if (s.mdcMissRate > 0)
         std::printf("MDC: %.2f%% miss rate (%.2f%% reads)\n",
                     100 * s.mdcMissRate, 100 * s.mdcReadMissRate);
+    if (const verify::Sentinel *sent = m->sentinel()) {
+        std::fflush(stdout);
+        sent->writeSummary(std::cout);
+        std::cout.flush();
+        if (sent->violations() != 0 || sent->trips() != 0) {
+            std::fprintf(stderr,
+                         "VERIFICATION FAILED: %llu violation(s), %llu "
+                         "watchdog trip(s)\n",
+                         static_cast<unsigned long long>(
+                             sent->violations()),
+                         static_cast<unsigned long long>(sent->trips()));
+            return 2;
+        }
+    }
     return 0;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "verify/sentinel.hh"
 
 namespace flashsim::cpu
 {
@@ -110,6 +111,8 @@ Cache::read(Addr addr, Callback on_fill)
     m->issued = eq_.now();
     m->readWaiters.clear();
     m->readWaiters.push_back(std::move(on_fill));
+    if (verify::Sentinel *s = magic_.sentinel())
+        s->txnStart(self_, line);
     sendRequest(MsgType::PiGet, line, false);
     return ReadOutcome::Miss;
 }
@@ -154,6 +157,8 @@ Cache::write(Addr addr)
     m->nackCount = 0;
     m->issued = eq_.now();
     m->readWaiters.clear();
+    if (verify::Sentinel *s = magic_.sentinel())
+        s->txnStart(self_, line);
     sendRequest(MsgType::PiGetx, line, false);
     return WriteOutcome::Queued;
 }
@@ -204,6 +209,8 @@ Cache::installLine(Addr line, State st)
 void
 Cache::completeMshr(Mshr &m)
 {
+    if (verify::Sentinel *s = magic_.sentinel())
+        s->txnRetire(self_, m.line);
     std::vector<Callback> waiters = std::move(m.readWaiters);
     m.valid = false;
     m.readWaiters.clear();

@@ -28,9 +28,49 @@ Machine::Machine(const MachineConfig &cfg)
         nodes_.push_back(std::make_unique<Node>(
             eq_, static_cast<NodeId>(i), cfg_, *this, &programs_, *net_));
     }
+
+    // A machine runs wholly on one thread (sweep workers included), so
+    // the thread-local log context is safe to point at this machine.
+    setLogTickSource([this] { return eq_.now(); });
+
+    if (cfg_.magic.verify.any()) {
+        sentinel_ = std::make_unique<verify::Sentinel>(
+            eq_, cfg_.magic.verify, cfg_.numProcs);
+
+        verify::CoherenceOracle::Wiring w;
+        w.numNodes = cfg_.numProcs;
+        w.homeOf = [this](Addr a) { return homeOf(a); };
+        w.header = [this](NodeId home, Addr line) {
+            return nodes_[home]->magic().directory().header(line);
+        };
+        w.sharers = [this](NodeId home, Addr line) {
+            return nodes_[home]->magic().directory().sharers(line);
+        };
+        w.cacheState = [this](NodeId n, Addr line) {
+            switch (nodes_[n]->cache().state(line)) {
+              case cpu::Cache::State::Invalid: return 0;
+              case cpu::Cache::State::Shared: return 1;
+              case cpu::Cache::State::Exclusive: return 2;
+            }
+            return 0;
+        };
+        sentinel_->wireOracle(std::move(w));
+
+        for (auto &n : nodes_)
+            n->magic().attachSentinel(sentinel_.get());
+        if (sentinel_->injector().enabled() &&
+            cfg_.magic.verify.fault.meshJitter > 0) {
+            net_->setPerturb([this](const protocol::Message &) {
+                return sentinel_->injector().meshJitter();
+            });
+        }
+    }
 }
 
-Machine::~Machine() = default;
+Machine::~Machine()
+{
+    setLogTickSource({});
+}
 
 Addr
 Machine::alloc(std::uint64_t bytes, NodeId node)
@@ -190,6 +230,11 @@ void
 Machine::drain()
 {
     eq_.run();
+    // The machine is quiesced: every in-flight message has landed, so
+    // the oracle can hold it to the strict (no transient windows)
+    // whole-machine invariants.
+    if (sentinel_)
+        sentinel_->finalCheck();
 }
 
 } // namespace flashsim::machine

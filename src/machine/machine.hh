@@ -21,6 +21,7 @@
 #include "sim/event_queue.hh"
 #include "tango/runtime.hh"
 #include "tango/task.hh"
+#include "verify/sentinel.hh"
 
 namespace flashsim::machine
 {
@@ -85,12 +86,18 @@ class Machine : public protocol::AddressMap
     const protocol::HandlerPrograms &programs() const { return programs_; }
     Tick executionTime() const { return execTime_; }
 
+    /** The verification sentinel, or null when cfg.magic.verify is all
+     *  off (the default). */
+    verify::Sentinel *sentinel() { return sentinel_.get(); }
+    const verify::Sentinel *sentinel() const { return sentinel_.get(); }
+
   private:
     MachineConfig cfg_;
     EventQueue eq_;
     protocol::HandlerPrograms programs_;
     std::unique_ptr<network::MeshNetwork> net_;
     std::vector<std::unique_ptr<Node>> nodes_;
+    std::unique_ptr<verify::Sentinel> sentinel_;
 
     /** Page table: page index -> home node. */
     std::vector<NodeId> pageHome_;

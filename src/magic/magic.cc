@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "sim/logging.hh"
+#include "verify/sentinel.hh"
 
 namespace
 {
@@ -64,18 +65,32 @@ Magic::Magic(EventQueue &eq, NodeId self, const MagicParams &params,
 
 Magic::~Magic() = default;
 
+Tick
+Magic::inboundArrival(Cycles base, Tick &last)
+{
+    Tick t = eq_.now() + base;
+    if (sentinel_ && sentinel_->injector().enabled()) {
+        t += sentinel_->injector().inboundStall();
+        // Queue-full backpressure must not reorder the queue: clamp to
+        // the latest stalled arrival (same-tick ties keep FIFO order).
+        t = std::max(t, last);
+        last = t;
+    }
+    return t;
+}
+
 void
 Magic::fromProcessor(const Message &msg)
 {
-    eq_.schedule(params_.piInbound,
-                 [this, msg] { enqueue(piQueue_, msg); });
+    Tick t = inboundArrival(params_.piInbound, lastPiArrival_);
+    eq_.scheduleAt(t, [this, msg] { enqueue(piQueue_, msg); });
 }
 
 void
 Magic::fromNetwork(const Message &msg)
 {
-    eq_.schedule(params_.niInbound,
-                 [this, msg] { enqueue(niQueue_, msg); });
+    Tick t = inboundArrival(params_.niInbound, lastNiArrival_);
+    eq_.scheduleAt(t, [this, msg] { enqueue(niQueue_, msg); });
 }
 
 void
@@ -112,20 +127,44 @@ Magic::sendBlock(NodeId dest, Addr addr, std::uint32_t bytes)
 void
 Magic::enqueue(std::deque<Pending> &q, const Message &msg)
 {
-    ++msgsIn;
-    Pending p{msg, eq_.now(), false, 0};
-    // Speculative memory initiation happens as the inbox preprocesses
-    // the incoming header, concurrently with the PP working on earlier
-    // messages — this is what hides protocol processing behind the
-    // memory access time even when the PP is backed up (Section 4.3).
-    // Each early read stages into one of the 16 data buffers.
-    if (!params_.ideal && map_.homeOf(msg.addr) == self_ &&
-        jumpTable_.lookup(msg.type).specRead && buffers_.acquire()) {
-        p.specIssued = true;
-        p.specReady = mem_.read(eq_.now() + params_.jumpTable);
-        ++specIssued;
+    // Injected replacement-hint perturbation: a dropped hint leaves a
+    // stale sharer pointer in the directory (cleaned up by a later
+    // invalidation), a duplicated one a double entry — both states the
+    // real machine can reach through lost or replayed hint messages.
+    int copies = 1;
+    if (sentinel_ && sentinel_->injector().enabled() &&
+        (msg.type == MsgType::PiReplaceHint ||
+         msg.type == MsgType::NetReplaceHint)) {
+        switch (sentinel_->injector().hintFate()) {
+          case verify::FaultInjector::HintFate::Drop:
+            sentinel_->recordInjected(self_, eq_.now(), msg,
+                                      verify::TraceEntry::Kind::DroppedHint);
+            return;
+          case verify::FaultInjector::HintFate::Duplicate:
+            sentinel_->recordInjected(self_, eq_.now(), msg,
+                                      verify::TraceEntry::Kind::DupedHint);
+            copies = 2;
+            break;
+          case verify::FaultInjector::HintFate::Deliver:
+            break;
+        }
     }
-    q.push_back(std::move(p));
+    for (int c = 0; c < copies; ++c) {
+        ++msgsIn;
+        Pending p{msg, eq_.now(), false, 0};
+        // Speculative memory initiation happens as the inbox preprocesses
+        // the incoming header, concurrently with the PP working on earlier
+        // messages — this is what hides protocol processing behind the
+        // memory access time even when the PP is backed up (Section 4.3).
+        // Each early read stages into one of the 16 data buffers.
+        if (!params_.ideal && map_.homeOf(msg.addr) == self_ &&
+            jumpTable_.lookup(msg.type).specRead && buffers_.acquire()) {
+            p.specIssued = true;
+            p.specReady = mem_.read(eq_.now() + params_.jumpTable);
+            ++specIssued;
+        }
+        q.push_back(std::move(p));
+    }
     tryDispatch();
 }
 
@@ -164,6 +203,20 @@ Magic::runHandler(Pending pending)
     const Tick now = eq_.now();
     const NodeId home = map_.homeOf(msg.addr);
     const bool at_home = home == self_;
+
+    setLogNode(self_);
+
+    // Injector-forced NACK: the request is bounced as if the line were
+    // in a transient state, exercising the retry paths without waiting
+    // for a genuine race.
+    if (sentinel_ && at_home && sentinel_->injector().enabled() &&
+        (msg.type == MsgType::PiGet || msg.type == MsgType::PiGetx ||
+         msg.type == MsgType::NetGet || msg.type == MsgType::NetGetx) &&
+        sentinel_->injector().rollNack()) {
+        injectedNack(pending, pending.specIssued);
+        setLogNode(kInvalidNode);
+        return;
+    }
 
     // Speculative memory initiation: usually already launched by the
     // inbox at message arrival; the ideal machine (or an inbox that ran
@@ -274,6 +327,16 @@ Magic::runHandler(Pending pending)
         hooks_.cacheDowngrade(msg.addr);
     }
 
+    // The handler's directory transition and cache operations are all
+    // applied: let the sentinel update its golden state and cross-check
+    // the machine. The test mutator (if any) corrupts state first so
+    // tests can prove a broken handler is caught.
+    if (sentinel_) {
+        if (sentinel_->testMutator)
+            sentinel_->testMutator(self_, msg, res);
+        sentinel_->observeHandler(self_, at_home, now, msg, res);
+    }
+
     for (const protocol::OutMsg &o : res.out) {
         Tick gate = 0;
         switch (o.gate) {
@@ -316,6 +379,48 @@ Magic::runHandler(Pending pending)
         eq_.scheduleAt(t, [this, msg] { hooks_.toProcessor(msg); });
     }
 
+    eq_.scheduleAt(pp_end, [this, release_buffer] {
+        if (release_buffer)
+            buffers_.release();
+        ppBusy_ = false;
+        tryDispatch();
+    });
+
+    setLogNode(kInvalidNode);
+}
+
+void
+Magic::injectedNack(const Pending &pending, bool release_buffer)
+{
+    const Message &msg = pending.msg;
+    const Tick now = eq_.now();
+
+    // The PP reads the header, decides to bounce, and composes the
+    // NACK — about what a genuine transient-state NACK costs (HomeNack
+    // in Table 3.4 territory). The protocol engine and the PP timing
+    // model never see the message, so neither real directory state nor
+    // the emulator's internal bookkeeping is touched.
+    const Cycles occ = params_.ideal ? 0 : 6;
+    ppOcc.addBusy(occ);
+    ++invocations;
+    handlerCount[static_cast<std::size_t>(HandlerId::HomeNack)] += 1;
+    handlerCycles[static_cast<std::size_t>(HandlerId::HomeNack)] += occ;
+    ++nacksSent;
+    if (pending.specIssued)
+        ++specUseless;
+
+    sentinel_->recordInjected(self_, now, msg,
+                              verify::TraceEntry::Kind::InjectedNack);
+
+    Message nack;
+    nack.type = MsgType::NetNack;
+    nack.src = self_;
+    nack.dest = msg.requester;
+    nack.requester = msg.requester;
+    nack.addr = msg.addr;
+
+    const Tick pp_end = now + occ;
+    launch(nack, pp_end, 0);
     eq_.scheduleAt(pp_end, [this, release_buffer] {
         if (release_buffer)
             buffers_.release();

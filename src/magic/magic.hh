@@ -43,6 +43,11 @@
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
 
+namespace flashsim::verify
+{
+class Sentinel;
+}
+
 namespace flashsim::magic
 {
 
@@ -110,6 +115,12 @@ class Magic
 
     JumpTable &jumpTable() { return jumpTable_; }
 
+    /** Attach the machine's verification sentinel (null = none). MAGIC
+     *  reports handler completions to it and asks its injector for
+     *  perturbations; the hot path costs one null check when absent. */
+    void attachSentinel(verify::Sentinel *s) { sentinel_ = s; }
+    verify::Sentinel *sentinel() const { return sentinel_; }
+
     // -- Statistics ---------------------------------------------------------
     Occupancy ppOcc;        ///< protocol processor busy time
     Counter invocations = 0;    ///< handler invocations
@@ -171,6 +182,12 @@ class Magic
     void tryDispatch();
     void runHandler(Pending pending);
     void launch(const protocol::Message &msg, Tick pp_end, Tick gate);
+    /** Injector-forced NACK of a request at the home node; bypasses the
+     *  protocol engine and the PP timing model entirely. */
+    void injectedNack(const Pending &pending, bool release_buffer);
+    /** Inbound arrival time with injected stall, FIFO-clamped per
+     *  queue so no message overtakes an earlier one. */
+    Tick inboundArrival(Cycles base, Tick &last);
 
     EventQueue &eq_;
     NodeId self_;
@@ -207,6 +224,11 @@ class Magic
     std::deque<Pending> niQueue_;
     bool ppBusy_ = false;
     bool pickPiFirst_ = true;
+
+    verify::Sentinel *sentinel_ = nullptr;
+    /** Last injector-stalled arrival per inbound queue (FIFO clamps). */
+    Tick lastPiArrival_ = 0;
+    Tick lastNiArrival_ = 0;
 };
 
 } // namespace flashsim::magic

@@ -14,6 +14,7 @@
 #define FLASHSIM_MAGIC_PARAMS_HH_
 
 #include "sim/types.hh"
+#include "verify/params.hh"
 
 namespace flashsim::magic
 {
@@ -79,6 +80,10 @@ struct MagicParams
     bool monitorPages = false;
     /** Extra PP cycles per monitored request. */
     Cycles monitorCost = 2;
+
+    /** Verification layer (oracle / watchdog / fault injection); all
+     *  off by default, see verify/params.hh. */
+    verify::VerifyParams verify;
 
     Cycles
     piOut() const

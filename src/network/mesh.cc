@@ -61,6 +61,16 @@ MeshNetwork::transit(NodeId src, NodeId dest) const
 }
 
 void
+MeshNetwork::setPerturb(std::function<Cycles(const protocol::Message &)> p)
+{
+    perturb_ = std::move(p);
+    if (perturb_ && lastDelivery_.empty())
+        lastDelivery_.assign(static_cast<std::size_t>(numNodes_) *
+                                 static_cast<std::size_t>(numNodes_),
+                             0);
+}
+
+void
 MeshNetwork::send(const protocol::Message &msg)
 {
     if (msg.dest >= deliver_.size() || !deliver_[msg.dest])
@@ -69,7 +79,18 @@ MeshNetwork::send(const protocol::Message &msg)
     if (protocol::carriesData(msg.type))
         ++dataMessages;
     Cycles lat = transit(msg.src, msg.dest);
-    eq_.schedule(lat, [this, msg] { deliver_[msg.dest](msg); });
+    Tick when = eq_.now() + lat;
+    if (perturb_) {
+        when += perturb_(msg);
+        // Clamp per (src, dest) pair: jitter must never reorder the
+        // point-to-point FIFO the protocol's race resolution assumes.
+        Tick &last = lastDelivery_[static_cast<std::size_t>(msg.src) *
+                                       static_cast<std::size_t>(numNodes_) +
+                                   msg.dest];
+        when = std::max(when, last);
+        last = when;
+    }
+    eq_.scheduleAt(when, [this, msg] { deliver_[msg.dest](msg); });
 }
 
 } // namespace flashsim::network

@@ -60,6 +60,16 @@ class MeshNetwork
     /** Mesh side length (smallest square covering num_nodes). */
     int side() const { return side_; }
 
+    /**
+     * Install a per-message transit perturbation (fault injection:
+     * contention jitter). Extra cycles returned by @p perturb are added
+     * to the transit, with delivery clamped so no message overtakes an
+     * earlier one on the same (src, dest) pair — the protocol's
+     * NACK/retry convergence depends on point-to-point FIFO order.
+     * Pass an empty function to remove.
+     */
+    void setPerturb(std::function<Cycles(const protocol::Message &)> p);
+
     Counter messages = 0;
     Counter dataMessages = 0;
 
@@ -70,6 +80,9 @@ class MeshNetwork
     MeshParams params_;
     Cycles avgTransit_;
     std::vector<Deliver> deliver_;
+    std::function<Cycles(const protocol::Message &)> perturb_;
+    /** Last scheduled delivery per (src, dest), perturbed mode only. */
+    std::vector<Tick> lastDelivery_;
 };
 
 } // namespace flashsim::network

@@ -2,7 +2,9 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <iostream>
 #include <mutex>
+#include <utility>
 #include <vector>
 
 namespace flashsim
@@ -25,14 +27,56 @@ vstrprintf(const char *fmt, std::va_list args)
 namespace
 {
 
+// Serialise whole messages (and post-mortem dumps): sweep-runner
+// workers log concurrently.
+std::mutex &
+logMutex()
+{
+    static std::mutex mu;
+    return mu;
+}
+
+thread_local std::function<Tick()> tickSource;
+thread_local NodeId logNode = kInvalidNode;
+thread_local std::vector<std::pair<int, std::function<void(std::ostream &)>>>
+    postMortems;
+thread_local int nextToken = 0;
+
+std::string
+contextPrefix()
+{
+    std::string ctx;
+    if (tickSource)
+        ctx += "t=" + std::to_string(tickSource());
+    if (logNode != kInvalidNode) {
+        if (!ctx.empty())
+            ctx += " ";
+        ctx += "node=" + std::to_string(logNode);
+    }
+    return ctx.empty() ? ctx : "[" + ctx + "] ";
+}
+
 void
 emit(const char *prefix, const char *fmt, std::va_list args)
 {
-    // Serialise whole messages: sweep-runner workers log concurrently.
-    static std::mutex mu;
     std::string msg = vstrprintf(fmt, args);
-    std::lock_guard<std::mutex> lock(mu);
-    std::fprintf(stderr, "%s: %s\n", prefix, msg.c_str());
+    std::lock_guard<std::mutex> lock(logMutex());
+    std::fprintf(stderr, "%s: %s%s\n", prefix, contextPrefix().c_str(),
+                 msg.c_str());
+}
+
+[[noreturn]] void
+die(const char *prefix, const char *fmt, std::va_list args)
+{
+    emit(prefix, fmt, args);
+    if (!postMortems.empty()) {
+        std::lock_guard<std::mutex> lock(logMutex());
+        for (const auto &[token, fn] : postMortems)
+            fn(std::cerr);
+        std::cerr.flush();
+    }
+    std::fflush(stderr);
+    std::abort();
 }
 
 } // namespace
@@ -42,9 +86,7 @@ panic(const char *fmt, ...)
 {
     std::va_list args;
     va_start(args, fmt);
-    emit("panic", fmt, args);
-    va_end(args);
-    std::abort();
+    die("panic", fmt, args);
 }
 
 void
@@ -52,9 +94,7 @@ fatal(const char *fmt, ...)
 {
     std::va_list args;
     va_start(args, fmt);
-    emit("fatal", fmt, args);
-    va_end(args);
-    std::exit(1);
+    die("fatal", fmt, args);
 }
 
 void
@@ -73,6 +113,51 @@ inform(const char *fmt, ...)
     va_start(args, fmt);
     emit("info", fmt, args);
     va_end(args);
+}
+
+void
+setLogTickSource(std::function<Tick()> fn)
+{
+    tickSource = std::move(fn);
+}
+
+void
+setLogNode(NodeId node)
+{
+    logNode = node;
+}
+
+NodeId
+currentLogNode()
+{
+    return logNode;
+}
+
+int
+registerPostMortem(std::function<void(std::ostream &)> fn)
+{
+    int token = nextToken++;
+    postMortems.emplace_back(token, std::move(fn));
+    return token;
+}
+
+void
+unregisterPostMortem(int token)
+{
+    for (auto it = postMortems.begin(); it != postMortems.end(); ++it) {
+        if (it->first == token) {
+            postMortems.erase(it);
+            return;
+        }
+    }
+}
+
+void
+runPostMortems(std::ostream &os)
+{
+    std::lock_guard<std::mutex> lock(logMutex());
+    for (const auto &[token, fn] : postMortems)
+        fn(os);
 }
 
 } // namespace flashsim

@@ -3,13 +3,27 @@
  * Error and status reporting helpers, following the gem5 convention:
  * panic() for simulator bugs, fatal() for user/configuration errors,
  * warn()/inform() for non-fatal status.
+ *
+ * Both fatal() and panic() die via abort() after (a) prefixing the
+ * message with the current simulation tick and node when a context has
+ * been registered, and (b) replaying any registered post-mortem dumpers
+ * (the verify::Sentinel's trace rings and watchdog status) to stderr —
+ * so a death mid-simulation is never blind.
+ *
+ * Context and dumpers are thread-local: sweep-runner workers each run a
+ * whole machine on one thread, so each worker sees only its own
+ * machine's context.
  */
 
 #ifndef FLASHSIM_SIM_LOGGING_HH_
 #define FLASHSIM_SIM_LOGGING_HH_
 
 #include <cstdarg>
+#include <functional>
+#include <ostream>
 #include <string>
+
+#include "sim/types.hh"
 
 namespace flashsim
 {
@@ -19,7 +33,8 @@ namespace flashsim
 [[noreturn]] void panic(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
-/** Print a formatted message and exit(1); use for configuration errors. */
+/** Print a formatted message and abort(); use for configuration errors
+ *  and unrecoverable simulation conditions. */
 [[noreturn]] void fatal(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
@@ -31,6 +46,32 @@ void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
 /** Format a printf-style message into a std::string. */
 std::string vstrprintf(const char *fmt, std::va_list args);
+
+// -- Simulation context (thread-local) --------------------------------------
+
+/** Register the current thread's simulation clock; fatal()/panic()
+ *  prefix their message with its value. Empty function clears it. */
+void setLogTickSource(std::function<Tick()> fn);
+
+/** Set the node whose handler is currently executing on this thread
+ *  (kInvalidNode = none); fatal()/panic() report it. */
+void setLogNode(NodeId node);
+
+NodeId currentLogNode();
+
+// -- Post-mortem dumpers (thread-local) -------------------------------------
+
+/**
+ * Register a dumper replayed to stderr when this thread dies in
+ * fatal()/panic(). Returns a token for unregisterPostMortem().
+ */
+int registerPostMortem(std::function<void(std::ostream &)> fn);
+
+void unregisterPostMortem(int token);
+
+/** Replay this thread's registered dumpers onto @p os (also used to
+ *  produce a dump without dying, e.g. on a record-only violation). */
+void runPostMortems(std::ostream &os);
 
 } // namespace flashsim
 

@@ -23,6 +23,18 @@ secondsSince(Clock::time_point start)
     return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
+std::string
+describeCurrentException()
+{
+    try {
+        throw;
+    } catch (const std::exception &e) {
+        return e.what();
+    } catch (...) {
+        return "unknown exception";
+    }
+}
+
 } // namespace
 
 int
@@ -56,7 +68,13 @@ SweepRunner::runIndexed(std::size_t count,
     if (nw <= 1) {
         for (std::size_t i = 0; i < count; ++i) {
             const auto job_start = Clock::now();
-            body(i);
+            try {
+                body(i);
+            } catch (const SweepJobError &) {
+                throw; // nested sweep: already attributed
+            } catch (...) {
+                throw SweepJobError(i, describeCurrentException());
+            }
             metrics_.jobs[i] = {secondsSince(job_start), 0};
         }
         metrics_.wallSeconds = secondsSince(sweep_start);
@@ -79,7 +97,9 @@ SweepRunner::runIndexed(std::size_t count,
         queues[i % static_cast<std::size_t>(nw)].q.push_back(i);
 
     std::mutex err_mu;
-    std::exception_ptr first_error;
+    bool have_error = false;
+    std::size_t error_job = 0;
+    std::string error_msg;
 
     auto worker = [&](int w) {
         for (;;) {
@@ -111,9 +131,15 @@ SweepRunner::runIndexed(std::size_t count,
             try {
                 body(idx);
             } catch (...) {
+                std::string msg = describeCurrentException();
                 std::lock_guard<std::mutex> lock(err_mu);
-                if (!first_error)
-                    first_error = std::current_exception();
+                // Keep the smallest failing index so the surfaced
+                // error does not depend on worker scheduling.
+                if (!have_error || idx < error_job) {
+                    have_error = true;
+                    error_job = idx;
+                    error_msg = std::move(msg);
+                }
             }
             metrics_.jobs[idx] = {secondsSince(job_start), w};
         }
@@ -130,8 +156,8 @@ SweepRunner::runIndexed(std::size_t count,
     for (const JobMetrics &j : metrics_.jobs)
         metrics_.serialSeconds += j.wallSeconds;
 
-    if (first_error)
-        std::rethrow_exception(first_error);
+    if (have_error)
+        throw SweepJobError(error_job, error_msg);
 }
 
 } // namespace flashsim::sim

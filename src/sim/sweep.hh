@@ -25,11 +25,39 @@
 
 #include <cstddef>
 #include <functional>
+#include <stdexcept>
+#include <string>
 #include <utility>
 #include <vector>
 
 namespace flashsim::sim
 {
+
+/**
+ * A sweep job threw: wraps the original error with the failing job's
+ * submission index, so the caller can report exactly which config died
+ * (a 200-point sweep losing one job to an unattributed exception is
+ * undebuggable). When several jobs fail, the one with the smallest
+ * index is surfaced — deterministic regardless of worker scheduling.
+ */
+class SweepJobError : public std::runtime_error
+{
+  public:
+    SweepJobError(std::size_t job, const std::string &message)
+        : std::runtime_error("sweep job " + std::to_string(job) + ": " +
+                             message),
+          job_(job), message_(message)
+    {}
+
+    /** Submission index of the job that threw. */
+    std::size_t jobIndex() const { return job_; }
+    /** The original exception's message. */
+    const std::string &jobMessage() const { return message_; }
+
+  private:
+    std::size_t job_;
+    std::string message_;
+};
 
 /** Per-job measurement recorded by the sweep runner. */
 struct JobMetrics
@@ -91,8 +119,9 @@ class SweepRunner
 
     /**
      * Execute @p count jobs, calling @p body(i) for each index exactly
-     * once. Blocks until all jobs finish; the first exception thrown by
-     * a job is rethrown here after the pool drains.
+     * once. Blocks until all jobs finish. A throwing job surfaces here
+     * as SweepJobError carrying the job's index (smallest index wins
+     * when several fail); the remaining jobs still run to completion.
      */
     void runIndexed(std::size_t count,
                     const std::function<void(std::size_t)> &body);

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Deterministic fault injector.
+ *
+ * One xorshift64* stream, drawn in event order, decides every
+ * perturbation, so a (seed, config) pair replays bit-identically. The
+ * injector itself is pure policy — it only answers "what should happen
+ * to this message"; the mechanism (delaying delivery, synthesizing a
+ * NACK, swallowing a hint) lives at the call sites in the mesh and in
+ * MAGIC, which are also responsible for preserving the point-to-point
+ * FIFO ordering the NACK/retry protocol depends on (delivery times are
+ * clamped monotonically per (src, dest) pair and per inbound queue).
+ */
+
+#ifndef FLASHSIM_VERIFY_FAULT_HH_
+#define FLASHSIM_VERIFY_FAULT_HH_
+
+#include "sim/random.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+#include "verify/params.hh"
+
+namespace flashsim::verify
+{
+
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(const FaultParams &params)
+        : p_(params), rng_(params.seed)
+    {}
+
+    bool enabled() const { return p_.enabled; }
+    const FaultParams &params() const { return p_; }
+
+    /** Extra mesh transit cycles for one message. */
+    Cycles
+    meshJitter()
+    {
+        if (p_.meshJitter == 0)
+            return 0;
+        Cycles j = rng_.below(p_.meshJitter + 1);
+        jitterCycles += j;
+        return j;
+    }
+
+    /** Extra cycles a message waits to enter a MAGIC inbound queue
+     *  (models queue-full backpressure at the interfaces). */
+    Cycles
+    inboundStall()
+    {
+        if (p_.inboundStall == 0)
+            return 0;
+        Cycles s = rng_.below(p_.inboundStall + 1);
+        stallCycles += s;
+        return s;
+    }
+
+    /** Should this home-node GET/GETX be NACKed outright? */
+    bool
+    rollNack()
+    {
+        if (p_.extraNackProb <= 0.0)
+            return false;
+        if (rng_.uniform() >= p_.extraNackProb)
+            return false;
+        ++nacksInjected;
+        return true;
+    }
+
+    enum class HintFate
+    {
+        Deliver,
+        Drop,
+        Duplicate,
+    };
+
+    /** Fate of a replacement hint arriving at the home node. */
+    HintFate
+    hintFate()
+    {
+        if (p_.dropHintProb <= 0.0 && p_.dupHintProb <= 0.0)
+            return HintFate::Deliver;
+        double u = rng_.uniform();
+        if (u < p_.dropHintProb) {
+            ++hintsDropped;
+            return HintFate::Drop;
+        }
+        if (u < p_.dropHintProb + p_.dupHintProb) {
+            ++hintsDuped;
+            return HintFate::Duplicate;
+        }
+        return HintFate::Deliver;
+    }
+
+    /** True when hint perturbation can leave duplicate or stale sharer
+     *  pointers in the directory (the oracle relaxes its checks). */
+    bool
+    perturbsHints() const
+    {
+        return p_.enabled && (p_.dropHintProb > 0.0 || p_.dupHintProb > 0.0);
+    }
+
+    // -- Statistics ---------------------------------------------------------
+    Counter nacksInjected = 0;
+    Counter hintsDropped = 0;
+    Counter hintsDuped = 0;
+    Counter jitterCycles = 0;
+    Counter stallCycles = 0;
+
+  private:
+    FaultParams p_;
+    Rng rng_;
+};
+
+} // namespace flashsim::verify
+
+#endif // FLASHSIM_VERIFY_FAULT_HH_

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Bounded per-node trace of recent protocol activity.
+ *
+ * Each node owns a fixed-depth ring recording handler invocations and
+ * injector actions. The rings cost two stores per record and never
+ * allocate after construction; they exist solely to be replayed as a
+ * post-mortem when the watchdog trips, the oracle flags a violation, or
+ * the process dies in fatal()/panic().
+ */
+
+#ifndef FLASHSIM_VERIFY_TRACE_HH_
+#define FLASHSIM_VERIFY_TRACE_HH_
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "protocol/handlers.hh"
+#include "protocol/message.hh"
+#include "sim/types.hh"
+
+namespace flashsim::verify
+{
+
+/** One recorded protocol event. */
+struct TraceEntry
+{
+    enum class Kind : std::uint8_t
+    {
+        Handler,      ///< a handler ran for the message
+        InjectedNack, ///< the injector NACKed the request instead
+        DroppedHint,  ///< the injector swallowed a replacement hint
+        DupedHint,    ///< the injector duplicated a replacement hint
+    };
+
+    Tick tick = 0;
+    Kind kind = Kind::Handler;
+    protocol::MsgType type = protocol::MsgType::PiGet;
+    protocol::HandlerId handler = protocol::HandlerId::ServeReadMemory;
+    NodeId src = 0;
+    NodeId requester = 0;
+    Addr addr = 0;
+    std::uint32_t aux = 0;
+};
+
+/** Fixed-capacity ring of TraceEntry. */
+class TraceRing
+{
+  public:
+    explicit TraceRing(std::uint32_t depth = 64)
+        : entries_(depth ? depth : 1)
+    {}
+
+    void
+    record(const TraceEntry &e)
+    {
+        entries_[static_cast<std::size_t>(next_ % entries_.size())] = e;
+        ++next_;
+    }
+
+    /** Replay oldest-to-newest onto @p os, prefixing @p node. */
+    void
+    dump(std::ostream &os, NodeId node) const
+    {
+        std::uint64_t n = next_ < entries_.size()
+                              ? next_
+                              : static_cast<std::uint64_t>(entries_.size());
+        std::uint64_t first = next_ - n;
+        for (std::uint64_t i = first; i < next_; ++i) {
+            const TraceEntry &e =
+                entries_[static_cast<std::size_t>(i % entries_.size())];
+            os << "  [node " << node << " t=" << e.tick << "] ";
+            switch (e.kind) {
+              case TraceEntry::Kind::Handler:
+                os << protocol::msgTypeName(e.type) << " -> "
+                   << protocol::handlerIdName(e.handler);
+                break;
+              case TraceEntry::Kind::InjectedNack:
+                os << protocol::msgTypeName(e.type)
+                   << " -> HomeNack (injected)";
+                break;
+              case TraceEntry::Kind::DroppedHint:
+                os << protocol::msgTypeName(e.type) << " dropped (injected)";
+                break;
+              case TraceEntry::Kind::DupedHint:
+                os << protocol::msgTypeName(e.type)
+                   << " duplicated (injected)";
+                break;
+            }
+            os << " src=" << e.src << " req=" << e.requester << " addr=0x"
+               << std::hex << e.addr << std::dec;
+            if (e.aux)
+                os << " aux=" << e.aux;
+            os << "\n";
+        }
+    }
+
+    std::uint64_t recorded() const { return next_; }
+
+  private:
+    std::vector<TraceEntry> entries_;
+    std::uint64_t next_ = 0;
+};
+
+} // namespace flashsim::verify
+
+#endif // FLASHSIM_VERIFY_TRACE_HH_

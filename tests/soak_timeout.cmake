@@ -1,0 +1,10 @@
+# Included by CTest after gtest test discovery (TEST_INCLUDE_FILES):
+# raise the ceiling for the soak sweep, which deliberately runs 24
+# injected full-machine simulations, and for the worker-count
+# determinism check that runs several more. All other tests keep the
+# default 120 s TIMEOUT set on gtest_discover_tests.
+set_tests_properties(SoakTest.MultiSeedInjectionSweepIsOracleClean
+                     PROPERTIES TIMEOUT 900)
+set_tests_properties(
+    SoakTest.InjectionSweepIsDeterministicAcrossWorkerCounts
+    PROPERTIES TIMEOUT 600)

@@ -189,6 +189,145 @@ TEST_P(RaceDelayTest, ThreeHopChainsConverge)
 INSTANTIATE_TEST_SUITE_P(Delays, RaceDelayTest,
                          ::testing::Range(0, 40, 3));
 
+// ---------------------------------------------------------------------------
+// Injector-driven races: the fault injector widens the same windows the
+// delay sweep above probes (late writebacks, mid-flight interventions,
+// NACK retries) and the coherence oracle checks every handler along the
+// way, so convergence is asserted by the golden invariants instead of
+// by spot-checking final states.
+
+/** Race config with the oracle watching and seeded injection on. */
+machine::MachineConfig
+injectedRaceConfig(int procs, std::uint64_t seed)
+{
+    MachineConfig cfg = MachineConfig::flash(procs);
+    cfg.magic.verify.oracle = true;
+    cfg.magic.verify.watchdog = true;
+    cfg.magic.verify.haltOnViolation = false;
+    cfg.magic.verify.haltOnTrip = false;
+    cfg.magic.verify.fault.enabled = true;
+    cfg.magic.verify.fault.seed = seed;
+    cfg.magic.verify.fault.meshJitter = 16;
+    cfg.magic.verify.fault.extraNackProb = 0.2;
+    cfg.magic.verify.fault.inboundStall = 6;
+    return cfg;
+}
+
+/** Sweep the injector seed: each seed produces a different perturbation
+ *  schedule, landing the race at different points in the window. */
+class InjectedRaceTest : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(InjectedRaceTest, WritebackVsGetOracleClean)
+{
+    // The PR-seed writeback race, but with jitter/NACK/stall injection
+    // smearing the writeback and the racing GET across the window.
+    MachineConfig cfg = injectedRaceConfig(2, GetParam());
+    cfg.cache.sizeBytes = 4096;
+    Machine m(cfg);
+    Addr a = m.alloc(kLineSize, 0);
+    std::uint32_t sets = 4096 / (2 * 128);
+    Addr conflict1 = m.alloc(sets * kLineSize, 0);
+    Addr conflict2 = m.alloc(sets * kLineSize, 0);
+    (void)conflict2;
+
+    m.run([=](tango::Env &env) -> tango::Task {
+        co_await env.busy(0);
+        if (env.id() == 1) {
+            co_await env.write(a);
+            co_await env.read(conflict1);
+            co_await env.read(conflict2);
+        } else {
+            co_await env.busy(250);
+            co_await env.read(a);
+        }
+    });
+    m.drain();
+
+    EXPECT_EQ(m.sentinel()->violations(), 0u);
+    EXPECT_EQ(m.sentinel()->trips(), 0u);
+    const auto &dir = m.node(0).magic().directory();
+    auto h = dir.header(a);
+    if (h.dirty) {
+        EXPECT_EQ(m.node(static_cast<int>(h.owner)).cache().state(a),
+                  Cache::State::Exclusive);
+    }
+}
+
+TEST_P(InjectedRaceTest, InterventionChainOracleClean)
+{
+    // Dirty line migrating 1 -> 2 -> 3 with the home reading mid-chain:
+    // every 3-hop intervention (forward, SWB, ownership transfer) runs
+    // under injection with the oracle checking each hop.
+    MachineConfig cfg = injectedRaceConfig(4, GetParam());
+    Machine m(cfg);
+    Addr a = m.alloc(kLineSize, 0);
+    m.run([=](tango::Env &env) -> tango::Task {
+        co_await env.busy(0);
+        switch (env.id()) {
+          case 1:
+            co_await env.write(a);
+            break;
+          case 2:
+            co_await env.busy(500);
+            co_await env.write(a);
+            break;
+          case 3:
+            co_await env.busy(1000);
+            co_await env.write(a);
+            break;
+          case 0:
+            co_await env.busy(750);
+            co_await env.read(a);
+            break;
+        }
+    });
+    m.drain();
+
+    EXPECT_EQ(m.sentinel()->violations(), 0u);
+    EXPECT_EQ(m.sentinel()->trips(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InjectedRaceTest,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+TEST(RaceTest, NackStormConvergesOracleClean)
+{
+    // Half of all home GET/GETX requests are NACKed outright on top of
+    // three writers fighting for one line: the retry machinery must
+    // still serialise the writers, make forward progress (no watchdog
+    // trip) and keep the directory golden throughout.
+    MachineConfig cfg = injectedRaceConfig(4, 3);
+    cfg.magic.verify.fault.extraNackProb = 0.5;
+    Machine m(cfg);
+    Addr a = m.alloc(kLineSize, 0);
+    m.run([=](tango::Env &env) -> tango::Task {
+        co_await env.busy(0);
+        if (env.id() == 0)
+            co_return;
+        for (int it = 0; it < 8; ++it) {
+            co_await env.write(a);
+            co_await env.busy(50);
+            co_await env.read(a);
+        }
+    });
+    m.drain();
+
+    EXPECT_GT(m.sentinel()->injectorStats().nacksInjected, 0u);
+    EXPECT_EQ(m.sentinel()->violations(), 0u);
+    EXPECT_EQ(m.sentinel()->trips(), 0u);
+    const auto &dir = m.node(0).magic().directory();
+    auto h = dir.header(a);
+    int holders = 0;
+    for (int i = 0; i < 4; ++i)
+        if (m.node(i).cache().state(a) == Cache::State::Exclusive) {
+            ++holders;
+            EXPECT_TRUE(h.dirty);
+            EXPECT_EQ(h.owner, static_cast<NodeId>(i));
+        }
+    EXPECT_LE(holders, 1);
+}
+
 TEST(RaceTest, UpgradeRace)
 {
     // Both sharers upgrade simultaneously; exactly one wins first and

@@ -87,6 +87,75 @@ TEST(SweepRunner, PropagatesJobException)
     EXPECT_THROW(runner.run(std::move(jobs)), std::runtime_error);
 }
 
+TEST(SweepRunner, ExceptionCarriesFailingJobIndex)
+{
+    SweepRunner runner(4);
+    try {
+        runner.runIndexed(8, [](std::size_t i) {
+            if (i == 5)
+                throw std::runtime_error("cache size must be a power "
+                                         "of two");
+        });
+        FAIL() << "expected SweepJobError";
+    } catch (const SweepJobError &e) {
+        EXPECT_EQ(e.jobIndex(), 5u);
+        EXPECT_EQ(e.jobMessage(),
+                  "cache size must be a power of two");
+        EXPECT_NE(std::string(e.what()).find("sweep job 5"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(SweepRunner, SmallestFailingIndexSurfacesDeterministically)
+{
+    // When several jobs fail, worker scheduling must not decide which
+    // error the caller sees: the smallest index always wins.
+    for (int workers : {1, 8}) {
+        SweepRunner runner(workers);
+        try {
+            runner.runIndexed(16, [](std::size_t i) {
+                if (i == 3 || i == 6 || i == 11)
+                    throw std::runtime_error("job " + std::to_string(i));
+            });
+            FAIL() << "expected SweepJobError";
+        } catch (const SweepJobError &e) {
+            EXPECT_EQ(e.jobIndex(), 3u) << workers << " workers";
+            EXPECT_EQ(e.jobMessage(), "job 3");
+        }
+    }
+}
+
+TEST(SweepRunner, RemainingJobsStillRunAfterFailure)
+{
+    SweepRunner runner(2);
+    std::vector<std::atomic<int>> hits(12);
+    EXPECT_THROW(runner.runIndexed(12,
+                                   [&](std::size_t i) {
+                                       ++hits[i];
+                                       if (i == 0)
+                                           throw std::runtime_error("x");
+                                   }),
+                 SweepJobError);
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(SweepRunner, NonStdExceptionIsStillAttributed)
+{
+    SweepRunner runner(3);
+    try {
+        runner.runIndexed(4, [](std::size_t i) {
+            if (i == 2)
+                throw 42; // not a std::exception
+        });
+        FAIL() << "expected SweepJobError";
+    } catch (const SweepJobError &e) {
+        EXPECT_EQ(e.jobIndex(), 2u);
+        EXPECT_EQ(e.jobMessage(), "unknown exception");
+    }
+}
+
 TEST(SweepRunner, EmptySweepIsFine)
 {
     SweepRunner runner(4);
