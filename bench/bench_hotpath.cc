@@ -14,9 +14,12 @@
 #include <vector>
 
 #include "machine/machine.hh"
+#include "network/mesh.hh"
 #include "ppisa/ppsim.hh"
+#include "protocol/directory.hh"
 #include "protocol/pp_programs.hh"
 #include "sim/event_queue.hh"
+#include "sim/stats.hh"
 
 namespace
 {
@@ -209,10 +212,103 @@ BM_MissRoundTrip(benchmark::State &state)
     state.SetItemsProcessed(static_cast<std::int64_t>(misses));
 }
 
+/**
+ * Directory hot ops over the paged flat store: the add/remove/clear
+ * sharer-list walks every home-node handler performs, plus the raw
+ * word view the PP shadow memory reads through. 64 lines cycle
+ * through 1-sharer and 3-sharer states so both the header fast path
+ * and the link pool (alloc + free-list reuse) stay exercised.
+ */
+void
+BM_DirectoryOps(benchmark::State &state)
+{
+    protocol::DirectoryStore dir;
+    constexpr int kLines = 64;
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        for (int i = 0; i < kLines; ++i) {
+            Addr line = static_cast<Addr>(i) * kLineSize;
+            dir.addSharer(line, 1);
+            dir.addSharer(line, 2);
+            dir.addSharer(line, 3);
+            sink += dir.countSharers(line);
+            sink += dir.loadWord(protocol::headerAddr(line));
+            dir.removeSharer(line, 2);
+            sink += dir.isSharer(line, 3) ? 1 : 0;
+            dir.clearSharers(line);
+        }
+    }
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            kLines);
+}
+
+/**
+ * Dense stat handles: the per-event counter update path (resolve once,
+ * then array adds), the shape every per-node model uses after the
+ * string-keyed map moved to report time.
+ */
+void
+BM_StatHandle(benchmark::State &state)
+{
+    StatSet stats;
+    const StatSet::Handle h0 = stats.handle("pp.invocations");
+    const StatSet::Handle h1 = stats.handle("pp.busyCycles");
+    const StatSet::Handle h2 = stats.handle("mdc.reads");
+    const StatSet::Handle h3 = stats.handle("mdc.misses");
+    for (auto _ : state) {
+        stats.add(h0, 1.0);
+        stats.add(h1, 14.0);
+        stats.add(h2, 3.0);
+        stats.add(h3, 1.0);
+    }
+    benchmark::DoNotOptimize(stats.get(h0) + stats.get(h1) +
+                             stats.get(h2) + stats.get(h3));
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            4);
+}
+
+/**
+ * Pooled mesh send: inject and deliver messages through the slab-
+ * backed network (send -> slot copy -> event -> deliver -> slot
+ * recycle), 16 in flight like a busy 16-node machine.
+ */
+void
+BM_MeshSend(benchmark::State &state)
+{
+    EventQueue eq;
+    network::MeshNetwork net(eq, 16);
+    std::uint64_t delivered = 0;
+    for (NodeId n = 0; n < 16; ++n)
+        net.connect(n, [&delivered](const protocol::Message &m) {
+            delivered += m.addr;
+        });
+    protocol::Message msg;
+    msg.type = protocol::MsgType::NetGet;
+    msg.requester = 0;
+    msg.addr = 0x10000;
+    std::uint32_t lcg = 99;
+    for (auto _ : state) {
+        for (int i = 0; i < 16; ++i) {
+            lcg = lcg * 1664525u + 1013904223u;
+            msg.src = static_cast<NodeId>((lcg >> 8) & 15);
+            msg.dest = static_cast<NodeId>((lcg >> 12) & 15);
+            net.send(msg);
+        }
+        eq.run();
+    }
+    benchmark::DoNotOptimize(delivered);
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            16);
+}
+
 BENCHMARK(BM_EventQueueHold)->Arg(1)->Arg(16)->Arg(256)->Arg(4096);
 BENCHMARK(BM_EventQueueHoldFar)->Arg(256)->Arg(4096);
 BENCHMARK(BM_EventQueueScheduleRun)->Arg(64)->Arg(1024)->Arg(16384);
 BENCHMARK(BM_PpHandlerDispatch);
+BENCHMARK(BM_DirectoryOps);
+BENCHMARK(BM_StatHandle);
+BENCHMARK(BM_MeshSend);
 BENCHMARK(BM_MissRoundTrip)->Unit(benchmark::kMillisecond);
 
 } // namespace

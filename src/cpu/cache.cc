@@ -19,33 +19,44 @@ Cache::Cache(EventQueue &eq, NodeId self, const CacheParams &params,
     if (numSets_ == 0 || (numSets_ & (numSets_ - 1)) != 0)
         fatal("Cache: set count %u must be a nonzero power of two",
               numSets_);
-    ways_.resize(static_cast<std::size_t>(numSets_) * p_.assoc);
+    if (p_.lineBytes == 0 || (p_.lineBytes & (p_.lineBytes - 1)) != 0)
+        fatal("Cache: line size %u must be a nonzero power of two",
+              p_.lineBytes);
+    // Tag/set math runs on every access: precompute shift widths so
+    // the hot path never divides by a runtime value.
+    for (std::uint32_t b = p_.lineBytes; b > 1; b >>= 1)
+        ++lineShift_;
+    for (std::uint32_t ns = numSets_; ns > 1; ns >>= 1)
+        ++setShift_;
+    const std::size_t nways =
+        static_cast<std::size_t>(numSets_) * p_.assoc;
+    states_.assign(nways, State::Invalid);
+    // Deliberately default-initialized (uninitialized): a Way is only
+    // read once its state leaves Invalid, and installLine fills it
+    // first. Zeroing ~200 KB per construction is what this avoids.
+    ways_.reset(new Way[nways]);
     mshrs_.resize(static_cast<std::size_t>(p_.mshrs));
 }
 
 std::uint32_t
 Cache::setIndex(Addr addr) const
 {
-    return static_cast<std::uint32_t>(addr / p_.lineBytes) &
+    return static_cast<std::uint32_t>(addr >> lineShift_) &
            (numSets_ - 1);
 }
 
-Cache::Way *
-Cache::findWay(Addr addr)
-{
-    Addr tag = addr / p_.lineBytes / numSets_;
-    Way *base = &ways_[static_cast<std::size_t>(setIndex(addr)) * p_.assoc];
-    for (std::uint32_t w = 0; w < p_.assoc; ++w) {
-        if (base[w].state != State::Invalid && base[w].tag == tag)
-            return &base[w];
-    }
-    return nullptr;
-}
-
-const Cache::Way *
+std::int32_t
 Cache::findWay(Addr addr) const
 {
-    return const_cast<Cache *>(this)->findWay(addr);
+    Addr tag = addr >> lineShift_ >> setShift_;
+    const std::size_t base =
+        static_cast<std::size_t>(setIndex(addr)) * p_.assoc;
+    for (std::uint32_t w = 0; w < p_.assoc; ++w) {
+        if (states_[base + w] != State::Invalid &&
+            ways_[base + w].tag == tag)
+            return static_cast<std::int32_t>(base + w);
+    }
+    return -1;
 }
 
 Cache::Mshr *
@@ -78,7 +89,7 @@ Cache::sendRequest(MsgType t, Addr line, bool retry)
     const magic::MagicParams &mp = magic_.params();
     // Retries skip miss detection; first issues pay detect + bus transit.
     Cycles delay = retry ? 0 : mp.missDetect + mp.busTransit;
-    eq_.schedule(delay, [this, m] { magic_.fromProcessor(m); });
+    magic_.fromProcessorAfter(m, delay);
 }
 
 Cache::ReadOutcome
@@ -86,8 +97,8 @@ Cache::read(Addr addr, Callback on_fill)
 {
     ++reads;
     Addr line = lineBase(addr);
-    if (Way *w = findWay(addr)) {
-        w->lru = ++lruClock_;
+    if (std::int32_t w = findWay(addr); w >= 0) {
+        ways_[w].lru = ++lruClock_;
         return ReadOutcome::Hit;
     }
     ++readMisses;
@@ -122,9 +133,9 @@ Cache::write(Addr addr)
 {
     ++writes;
     Addr line = lineBase(addr);
-    Way *w = findWay(addr);
-    if (w != nullptr && w->state == State::Exclusive) {
-        w->lru = ++lruClock_;
+    std::int32_t w = findWay(addr);
+    if (w >= 0 && states_[w] == State::Exclusive) {
+        ways_[w].lru = ++lruClock_;
         return WriteOutcome::Done;
     }
     ++writeMisses;
@@ -174,36 +185,42 @@ Cache::installLine(Addr line, State st)
 {
     // An upgrade fill (or a refetch racing an invalidation) may find the
     // line already resident: promote in place, never duplicate the tag.
-    if (Way *w = findWay(line)) {
-        w->state = st == State::Exclusive ? State::Exclusive : w->state;
-        w->lru = ++lruClock_;
+    if (std::int32_t w = findWay(line); w >= 0) {
+        if (st == State::Exclusive)
+            states_[w] = State::Exclusive;
+        ways_[w].lru = ++lruClock_;
         return;
     }
-    Addr tag = line / p_.lineBytes / numSets_;
-    Way *base = &ways_[static_cast<std::size_t>(setIndex(line)) * p_.assoc];
-    Way *victim = nullptr;
+    Addr tag = line >> lineShift_ >> setShift_;
+    const std::size_t base =
+        static_cast<std::size_t>(setIndex(line)) * p_.assoc;
+    std::size_t victim = base;
+    bool have = false;
     for (std::uint32_t w = 0; w < p_.assoc; ++w) {
-        if (base[w].state == State::Invalid) {
-            victim = &base[w];
+        if (states_[base + w] == State::Invalid) {
+            victim = base + w;
             break;
         }
-        if (victim == nullptr || base[w].lru < victim->lru)
-            victim = &base[w];
+        if (!have || ways_[base + w].lru < ways_[victim].lru)
+            victim = base + w;
+        have = true;
     }
-    if (victim->state == State::Exclusive) {
+    if (states_[victim] == State::Exclusive) {
         ++writebacks;
-        Addr victim_line = victim->tag * numSets_ * p_.lineBytes +
-                           static_cast<Addr>(setIndex(line)) * p_.lineBytes;
+        Addr victim_line = ((ways_[victim].tag << setShift_) +
+                            setIndex(line))
+                           << lineShift_;
         sendRequest(MsgType::PiWriteback, victim_line, true);
-    } else if (victim->state == State::Shared) {
+    } else if (states_[victim] == State::Shared) {
         ++replaceHints;
-        Addr victim_line = victim->tag * numSets_ * p_.lineBytes +
-                           static_cast<Addr>(setIndex(line)) * p_.lineBytes;
+        Addr victim_line = ((ways_[victim].tag << setShift_) +
+                            setIndex(line))
+                           << lineShift_;
         sendRequest(MsgType::PiReplaceHint, victim_line, true);
     }
-    victim->state = st;
-    victim->tag = tag;
-    victim->lru = ++lruClock_;
+    states_[victim] = st;
+    ways_[victim].tag = tag;
+    ways_[victim].lru = ++lruClock_;
 }
 
 void
@@ -211,17 +228,21 @@ Cache::completeMshr(Mshr &m)
 {
     if (verify::Sentinel *s = magic_.sentinel())
         s->txnRetire(self_, m.line);
-    std::vector<Callback> waiters = std::move(m.readWaiters);
+    // Swap (not move) so the MSHR inherits the scratch's spare buffer:
+    // steady-state completion is allocation-free. Fills only arrive via
+    // event-queue deliveries, never from inside these callbacks, so the
+    // scratch cannot be re-entered while we iterate it.
+    fillScratch_.swap(m.readWaiters);
     m.valid = false;
-    m.readWaiters.clear();
     // Wake the processor retry hook first so a stalled access can claim
     // the freed MSHR, then release the blocked readers.
     std::vector<Callback> hooks = std::move(mshrFreeWaiters_);
     mshrFreeWaiters_.clear();
     for (Callback &cb : hooks)
         cb();
-    for (Callback &cb : waiters)
+    for (Callback &cb : fillScratch_)
         cb();
+    fillScratch_.clear();
 }
 
 void
@@ -241,8 +262,8 @@ Cache::fill(const Message &msg)
     if (m->invalOnFill && st == State::Shared) {
         // A racing invalidation already hit this line: the blocked read
         // consumes the critical word, but the copy must not persist.
-        if (Way *w = findWay(line))
-            w->state = State::Invalid;
+        if (std::int32_t w = findWay(line); w >= 0)
+            states_[w] = State::Invalid;
     }
 
     if (m->needsUpgrade && st == State::Shared) {
@@ -254,10 +275,10 @@ Cache::fill(const Message &msg)
         m->nackCount = 0;
         m->issued = eq_.now();
         sendRequest(MsgType::PiGetx, line, true);
-        std::vector<Callback> waiters = std::move(m->readWaiters);
-        m->readWaiters.clear();
-        for (Callback &cb : waiters)
+        fillScratch_.swap(m->readWaiters);
+        for (Callback &cb : fillScratch_)
             cb();
+        fillScratch_.clear();
         return;
     }
     completeMshr(*m);
@@ -298,16 +319,16 @@ Cache::deliver(const Message &msg)
 bool
 Cache::holdsDirty(Addr addr) const
 {
-    const Way *w = findWay(addr);
-    return w != nullptr && w->state == State::Exclusive;
+    std::int32_t w = findWay(addr);
+    return w >= 0 && states_[w] == State::Exclusive;
 }
 
 void
 Cache::invalidate(Addr addr)
 {
     ++invalsReceived;
-    if (Way *w = findWay(addr))
-        w->state = State::Invalid;
+    if (std::int32_t w = findWay(addr); w >= 0)
+        states_[w] = State::Invalid;
     // The invalidation may have raced ahead of a read reply in flight
     // to this node (replies wait for memory data, invals do not).
     if (Mshr *m = findMshr(lineBase(addr))) {
@@ -319,9 +340,9 @@ Cache::invalidate(Addr addr)
 void
 Cache::downgrade(Addr addr)
 {
-    if (Way *w = findWay(addr)) {
-        if (w->state == State::Exclusive)
-            w->state = State::Shared;
+    if (std::int32_t w = findWay(addr); w >= 0) {
+        if (states_[w] == State::Exclusive)
+            states_[w] = State::Shared;
     }
 }
 
@@ -334,8 +355,8 @@ Cache::busyUntil(Tick until)
 Cache::State
 Cache::state(Addr addr) const
 {
-    const Way *w = findWay(addr);
-    return w != nullptr ? w->state : State::Invalid;
+    std::int32_t w = findWay(addr);
+    return w >= 0 ? states_[w] : State::Invalid;
 }
 
 } // namespace flashsim::cpu

@@ -16,12 +16,13 @@
 #define FLASHSIM_CPU_CACHE_HH_
 
 #include <cstdint>
-#include <functional>
+#include <memory>
 #include <vector>
 
 #include "magic/magic.hh"
 #include "protocol/message.hh"
 #include "sim/event_queue.hh"
+#include "sim/inline_callback.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -39,7 +40,9 @@ struct CacheParams
 class Cache
 {
   public:
-    using Callback = std::function<void()>;
+    /** Inline-only callable: miss continuations fire once per fill, on
+     *  the hottest path in the machine — no heap fallback allowed. */
+    using Callback = InlineCallback;
 
     enum class State : std::uint8_t { Invalid, Shared, Exclusive };
 
@@ -105,11 +108,16 @@ class Cache
     }
 
   private:
+    /** Tag/LRU metadata of one way. Kept separate from the 1-byte
+     *  state array so constructing a cache only zeroes states_ (8 KB)
+     *  instead of value-initializing 24 bytes per way (~200 KB for the
+     *  default 1 MB cache — a dominant cost when a machine is built per
+     *  benchmark iteration). An entry is meaningful only while its
+     *  state is not Invalid; installLine writes it before validating. */
     struct Way
     {
-        State state = State::Invalid;
-        Addr tag = 0;
-        std::uint64_t lru = 0;
+        Addr tag;
+        std::uint64_t lru;
     };
 
     struct Mshr
@@ -129,8 +137,8 @@ class Cache
         std::vector<Callback> readWaiters;
     };
 
-    Way *findWay(Addr addr);
-    const Way *findWay(Addr addr) const;
+    /** Index of @p addr's way, or -1 when not resident. */
+    std::int32_t findWay(Addr addr) const;
     Mshr *findMshr(Addr line);
     Mshr *allocMshr();
     std::uint32_t setIndex(Addr addr) const;
@@ -145,11 +153,18 @@ class Cache
     magic::Magic &magic_;
 
     std::uint32_t numSets_;
+    std::uint32_t lineShift_ = 0; ///< log2(lineBytes)
+    std::uint32_t setShift_ = 0;  ///< log2(numSets_)
     std::uint64_t lruClock_ = 0;
-    std::vector<Way> ways_;
+    std::vector<State> states_; ///< per-way state; Invalid = 0
+    std::unique_ptr<Way[]> ways_; ///< valid iff states_[i] != Invalid
     std::vector<Mshr> mshrs_;
     Tick busyUntil_ = 0;
     std::vector<Callback> mshrFreeWaiters_;
+    /** Scratch the completed MSHR's waiter list is swapped into before
+     *  running (callbacks may re-enter the cache); the swap hands the
+     *  scratch's spare capacity back, so steady state never allocates. */
+    std::vector<Callback> fillScratch_;
 };
 
 } // namespace flashsim::cpu

@@ -15,18 +15,21 @@ constexpr Addr kAppBase = Addr{1} << 20;
 } // namespace
 
 Machine::Machine(const MachineConfig &cfg)
-    : cfg_(cfg), programs_(protocol::buildHandlerPrograms(cfg.ppCompile)),
+    : cfg_(cfg), programs_(protocol::sharedHandlerPrograms(cfg.ppCompile)),
       base_(kAppBase), next_(kAppBase)
 {
     cfg_.magic.pageShift = 0;
     for (std::uint64_t b = cfg_.pageBytes; b > 1; b >>= 1)
         ++cfg_.magic.pageShift;
+    if (cfg_.pageBytes != 0 &&
+        (cfg_.pageBytes & (cfg_.pageBytes - 1)) == 0)
+        pageShift_ = cfg_.magic.pageShift;
     net_ = std::make_unique<network::MeshNetwork>(eq_, cfg_.numProcs,
                                                   cfg_.net);
     nodes_.reserve(static_cast<std::size_t>(cfg_.numProcs));
     for (int i = 0; i < cfg_.numProcs; ++i) {
         nodes_.push_back(std::make_unique<Node>(
-            eq_, static_cast<NodeId>(i), cfg_, *this, &programs_, *net_));
+            eq_, static_cast<NodeId>(i), cfg_, *this, programs_.get(), *net_));
     }
 
     // A machine runs wholly on one thread (sweep workers included), so
@@ -138,7 +141,9 @@ Machine::homeOf(Addr addr) const
     if (addr < base_)
         panic("homeOf: address 0x%llx below app base",
               static_cast<unsigned long long>(addr));
-    std::uint64_t page = (addr - base_) / cfg_.pageBytes;
+    std::uint64_t page = pageShift_ != 0
+                             ? (addr - base_) >> pageShift_
+                             : (addr - base_) / cfg_.pageBytes;
     if (page >= pageHome_.size())
         panic("homeOf: address 0x%llx was never allocated",
               static_cast<unsigned long long>(addr));
@@ -182,10 +187,10 @@ Machine::pageIndexOf(Addr addr) const
     return (addr - base_) / cfg_.pageBytes;
 }
 
-std::unordered_map<std::uint64_t, Counter>
+FlatCounterMap
 Machine::pageHeat() const
 {
-    std::unordered_map<std::uint64_t, Counter> heat;
+    FlatCounterMap heat;
     std::size_t entries = 0;
     for (const auto &n : nodes_)
         entries += n->magic().pageRemoteAccesses.size();
@@ -206,11 +211,14 @@ Machine::run(const Workload &workload)
     for (auto &n : nodes_)
         n->startWorkload(workload);
 
-    auto all_done = [this] {
-        for (auto &n : nodes_)
-            if (!n->proc().finished())
-                return false;
-        return true;
+    // finished() is monotone, so it suffices to watch one unfinished
+    // processor at a time: the scan resumes where it left off instead
+    // of walking every node on every event step.
+    std::size_t watch = 0;
+    auto all_done = [this, &watch] {
+        while (watch < nodes_.size() && nodes_[watch]->proc().finished())
+            ++watch;
+        return watch == nodes_.size();
     };
 
     while (!all_done()) {

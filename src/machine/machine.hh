@@ -10,7 +10,6 @@
 #include <functional>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "machine/config.hh"
@@ -19,6 +18,7 @@
 #include "protocol/handlers.hh"
 #include "protocol/pp_programs.hh"
 #include "sim/event_queue.hh"
+#include "sim/flat_table.hh"
 #include "tango/runtime.hh"
 #include "tango/task.hh"
 #include "verify/sentinel.hh"
@@ -61,7 +61,7 @@ class Machine : public protocol::AddressMap
      * Feed this into a placementHook on a fresh machine to implement
      * the paper's Section 4.4 page remapping.
      */
-    std::unordered_map<std::uint64_t, Counter> pageHeat() const;
+    FlatCounterMap pageHeat() const;
 
     // -- Execution ------------------------------------------------------------
     /**
@@ -83,7 +83,7 @@ class Machine : public protocol::AddressMap
     }
     network::MeshNetwork &network() { return *net_; }
     const MachineConfig &config() const { return cfg_; }
-    const protocol::HandlerPrograms &programs() const { return programs_; }
+    const protocol::HandlerPrograms &programs() const { return *programs_; }
     Tick executionTime() const { return execTime_; }
 
     /** The verification sentinel, or null when cfg.magic.verify is all
@@ -94,7 +94,9 @@ class Machine : public protocol::AddressMap
   private:
     MachineConfig cfg_;
     EventQueue eq_;
-    protocol::HandlerPrograms programs_;
+    /** Shared, immutable, pre-decoded program set (process-wide cache:
+     *  see protocol::sharedHandlerPrograms). */
+    std::shared_ptr<const protocol::HandlerPrograms> programs_;
     std::unique_ptr<network::MeshNetwork> net_;
     std::vector<std::unique_ptr<Node>> nodes_;
     std::unique_ptr<verify::Sentinel> sentinel_;
@@ -103,6 +105,9 @@ class Machine : public protocol::AddressMap
     std::vector<NodeId> pageHome_;
     Addr base_;
     Addr next_;
+    /** log2(pageBytes) when it is a power of two, else 0 — homeOf runs
+     *  per protocol message, so avoid the 64-bit division when we can. */
+    std::uint32_t pageShift_ = 0;
     std::uint64_t rrCounter_ = 0;
     std::uint64_t firstFitAllocated_ = 0;
     Tick execTime_ = 0;

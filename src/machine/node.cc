@@ -16,6 +16,9 @@ Node::Node(EventQueue &eq, NodeId id, const MachineConfig &cfg,
         cache_->deliver(m);
     };
     hooks.toNetwork = [&net](const protocol::Message &m) { net.send(m); };
+    hooks.toNetworkAt = [&net](const protocol::Message &m, Tick t) {
+        net.sendAt(m, t);
+    };
     hooks.cacheHoldsDirty = [this](Addr a) {
         return cache_->holdsDirty(a);
     };

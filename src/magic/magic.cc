@@ -87,6 +87,17 @@ Magic::fromProcessor(const Message &msg)
 }
 
 void
+Magic::fromProcessorAfter(const Message &msg, Cycles delay)
+{
+    if (sentinel_ && sentinel_->injector().enabled()) {
+        eq_.schedule(delay, [this, msg] { fromProcessor(msg); });
+        return;
+    }
+    eq_.scheduleAt(eq_.now() + delay + params_.piInbound,
+                   [this, msg] { enqueue(piQueue_, msg); });
+}
+
+void
 Magic::fromNetwork(const Message &msg)
 {
     Tick t = inboundArrival(params_.niInbound, lastNiArrival_);
@@ -119,7 +130,10 @@ Magic::sendBlock(NodeId dest, Addr addr, std::uint32_t bytes)
         m.aux = chunks - 1 - i; // chunks remaining after this one
         ++blockChunksSent;
         Tick t = std::max(launch + params_.niOutbound, data_ready);
-        eq_.scheduleAt(t, [this, m] { hooks_.toNetwork(m); });
+        if (hooks_.toNetworkAt)
+            hooks_.toNetworkAt(m, t);
+        else
+            eq_.scheduleAt(t, [this, m] { hooks_.toNetwork(m); });
         launch = t; // chunks stay ordered on the wire
     }
 }
@@ -197,7 +211,7 @@ Magic::tryDispatch()
 }
 
 void
-Magic::runHandler(Pending pending)
+Magic::runHandler(const Pending &pending)
 {
     const Message &msg = pending.msg;
     const Tick now = eq_.now();
@@ -453,9 +467,14 @@ Magic::launch(const Message &msg, Tick pp_end, Tick gate)
     }
 
     // Network-bound: NI outbound header processing overlaps with data
-    // staging (pipelined data buffers).
+    // staging (pipelined data buffers). Hand the departure time to the
+    // network directly when the wiring supports it — the intermediate
+    // "call toNetwork at t" event is pure overhead.
     Tick t = std::max(header_start + params_.niOutbound, gate);
-    eq_.scheduleAt(t, [this, msg] { hooks_.toNetwork(msg); });
+    if (hooks_.toNetworkAt)
+        hooks_.toNetworkAt(msg, t);
+    else
+        eq_.scheduleAt(t, [this, msg] { hooks_.toNetwork(msg); });
 }
 
 } // namespace flashsim::magic

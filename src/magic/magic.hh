@@ -29,7 +29,6 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <unordered_map>
 
 #include "magic/data_buffer.hh"
 #include "magic/jump_table.hh"
@@ -41,6 +40,7 @@
 #include "protocol/message.hh"
 #include "protocol/pp_programs.hh"
 #include "sim/event_queue.hh"
+#include "sim/flat_table.hh"
 #include "sim/stats.hh"
 
 namespace flashsim::verify
@@ -59,6 +59,10 @@ struct MagicHooks
     std::function<void(const protocol::Message &)> toProcessor;
     /** Hand a message to the network (transit charged by the network). */
     std::function<void(const protocol::Message &)> toNetwork;
+    /** Hand a message to the network with an explicit future departure
+     *  time (outbox completion), sparing the event that would otherwise
+     *  only exist to call toNetwork at that time. */
+    std::function<void(const protocol::Message &, Tick)> toNetworkAt;
     /** Probe: local processor cache holds the line dirty. */
     std::function<bool(Addr)> cacheHoldsDirty;
     /** Invalidate the line in the local processor cache. */
@@ -90,6 +94,13 @@ class Magic
     /** A processor request appears on the bus at MAGIC's pins (the
      *  miss-detect and bus-transit cycles are charged by the cache). */
     void fromProcessor(const protocol::Message &msg);
+
+    /** fromProcessor as it will stand @p delay cycles from now, folded
+     *  into one event: the request lands in the PI queue at
+     *  now + delay + piInbound directly. Falls back to the two-stage
+     *  path under an active fault injector, whose inbound-stall clamp
+     *  must observe arrivals in order. */
+    void fromProcessorAfter(const protocol::Message &msg, Cycles delay);
 
     /** A network message arrives at the NI pins. */
     void fromNetwork(const protocol::Message &msg);
@@ -162,9 +173,11 @@ class Magic
      * Per-page remote-request counts (params.monitorPages): the
      * protocol-processor-side performance monitoring the paper names as
      * a key advantage of flexibility (Sections 1 and 4.4), usable to
-     * drive page migration policies. Keyed by page index.
+     * drive page migration policies. Keyed by page index; stored in an
+     * open-addressing flat table so the handler-path increment is an
+     * array probe, not a hash-map node walk.
      */
-    std::unordered_map<std::uint64_t, Counter> pageRemoteAccesses;
+    FlatCounterMap pageRemoteAccesses;
 
   private:
     struct Pending
@@ -180,7 +193,7 @@ class Magic
 
     void enqueue(std::deque<Pending> &q, const protocol::Message &msg);
     void tryDispatch();
-    void runHandler(Pending pending);
+    void runHandler(const Pending &pending);
     void launch(const protocol::Message &msg, Tick pp_end, Tick gate);
     /** Injector-forced NACK of a request at the home node; bypasses the
      *  protocol engine and the PP timing model entirely. */

@@ -13,6 +13,14 @@ MagicCache::MagicCache(std::uint32_t size_bytes, std::uint32_t assoc,
     if (numSets_ == 0 || (numSets_ & (numSets_ - 1)) != 0)
         fatal("MagicCache: set count %u must be a nonzero power of two",
               numSets_);
+    if (lineBytes_ == 0 || (lineBytes_ & (lineBytes_ - 1)) != 0)
+        fatal("MagicCache: line size %u must be a nonzero power of two",
+              lineBytes_);
+    // Hot-path probes index with shifts, not 64-bit divisions.
+    for (std::uint32_t b = lineBytes_; b > 1; b >>= 1)
+        ++lineShift_;
+    for (std::uint32_t ns = numSets_; ns > 1; ns >>= 1)
+        ++setShift_;
     ways_.resize(static_cast<std::size_t>(numSets_) * assoc_);
 }
 
@@ -25,9 +33,9 @@ MagicCache::access(Addr addr, bool is_write)
     else
         ++reads;
 
-    Addr line = addr / lineBytes_;
+    Addr line = addr >> lineShift_;
     std::uint32_t set = static_cast<std::uint32_t>(line) & (numSets_ - 1);
-    Addr tag = line / numSets_;
+    Addr tag = line >> setShift_;
     Way *base = &ways_[static_cast<std::size_t>(set) * assoc_];
 
     for (std::uint32_t w = 0; w < assoc_; ++w) {

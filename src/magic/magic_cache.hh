@@ -82,6 +82,8 @@ class MagicCache
     std::uint32_t numSets_;
     std::uint32_t assoc_;
     std::uint32_t lineBytes_;
+    std::uint32_t lineShift_ = 0; ///< log2(lineBytes_)
+    std::uint32_t setShift_ = 0;  ///< log2(numSets_)
     std::uint64_t lruClock_ = 0;
     std::vector<Way> ways_; ///< numSets_ * assoc_, set-major
 };

@@ -74,8 +74,8 @@ PpTimingModel::ShadowMemory::load(Addr addr, Cycles &extra)
         ++misses;
     if (a.victimWriteback)
         ++writebacks;
-    auto it = writes_.find(addr);
-    return it != writes_.end() ? it->second : dir_.loadWord(addr);
+    const std::uint64_t *w = writes_.find(addr);
+    return w != nullptr ? *w : dir_.loadWord(addr);
 }
 
 void
@@ -92,13 +92,13 @@ PpTimingModel::ShadowMemory::store(Addr addr, std::uint64_t value,
         ++misses;
     if (a.victimWriteback)
         ++writebacks;
-    writes_[addr] = value;
+    writes_.put(addr, value);
 }
 
 void
 PpTimingModel::ShadowMemory::reset()
 {
-    writes_.clear();
+    writes_.reset();
     misses = 0;
     writebacks = 0;
 }
@@ -144,8 +144,8 @@ PpTimingModel::preHandler(const protocol::Message &msg, NodeId self,
     shadow_.reset();
     ppisa::RegFile regs =
         protocol::makeHandlerRegs(msg, self, home, cache_dirty);
-    std::vector<ppisa::SentMessage> sent;
-    Cycles cycles = sim_.run(*e.prog, regs, shadow_, sent, stats_);
+    sent_.clear();
+    Cycles cycles = sim_.run(*e.prog, regs, shadow_, sent_, stats_);
 
     last_ = HandlerTiming{};
     last_.occupancy = cycles;

@@ -20,9 +20,10 @@
 
 #include <array>
 #include <memory>
-#include <unordered_map>
+#include <vector>
 
 #include "magic/magic_cache.hh"
+#include "sim/flat_table.hh"
 #include "magic/params.hh"
 #include "ppisa/ppsim.hh"
 #include "protocol/directory.hh"
@@ -115,7 +116,9 @@ class PpTimingModel : public HandlerTimingModel
         const protocol::DirectoryStore &dir_;
         MagicCache &mdc_;
         Cycles missPenalty_;
-        std::unordered_map<Addr, std::uint64_t> writes_;
+        /** Buffered shadow writes for the current invocation; bulk-
+         *  cleared in O(1) by reset() (generation-stamped flat table). */
+        ScratchWordMap writes_;
     };
 
     /**
@@ -141,6 +144,8 @@ class PpTimingModel : public HandlerTimingModel
     ShadowMemory shadow_;
     ppisa::PpSim sim_;
     ppisa::RunStats stats_;
+    /** Reused per-invocation Send buffer (no allocation per handler). */
+    std::vector<ppisa::SentMessage> sent_;
     HandlerTiming last_;
     std::array<std::array<DispatchEntry, 2>, protocol::kNumMsgTypes>
         dispatch_{};

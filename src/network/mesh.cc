@@ -64,10 +64,43 @@ void
 MeshNetwork::setPerturb(std::function<Cycles(const protocol::Message &)> p)
 {
     perturb_ = std::move(p);
-    if (perturb_ && lastDelivery_.empty())
+    // (Re)size the clamp table on every install, not only when it is
+    // currently empty: a second perturb installed after the first was
+    // cleared must start from a fresh, correctly sized table instead of
+    // inheriting stale per-pair delivery floors.
+    if (perturb_)
         lastDelivery_.assign(static_cast<std::size_t>(numNodes_) *
                                  static_cast<std::size_t>(numNodes_),
                              0);
+}
+
+std::uint32_t
+MeshNetwork::allocSlot()
+{
+    if (!freeSlots_.empty()) {
+        std::uint32_t s = freeSlots_.back();
+        freeSlots_.pop_back();
+        return s;
+    }
+    std::uint32_t s = static_cast<std::uint32_t>(slab_.size()) * kSlabChunk;
+    slab_.push_back(std::make_unique<protocol::Message[]>(kSlabChunk));
+    freeSlots_.reserve(slab_.size() * kSlabChunk);
+    for (std::uint32_t i = kSlabChunk - 1; i > 0; --i)
+        freeSlots_.push_back(s + i);
+    return s;
+}
+
+void
+MeshNetwork::deliverSlot(std::uint32_t s)
+{
+    // The slot is released only after the delivery callback returns:
+    // chunk storage is stable, so the reference survives nested sends
+    // that grow the slab, and the slot cannot be recycled underneath
+    // the receiver.
+    const protocol::Message &m = slot(s);
+    deliver_[m.dest](m);
+    freeSlots_.push_back(s);
+    --inFlight_;
 }
 
 void
@@ -90,7 +123,31 @@ MeshNetwork::send(const protocol::Message &msg)
         when = std::max(when, last);
         last = when;
     }
-    eq_.scheduleAt(when, [this, msg] { deliver_[msg.dest](msg); });
+    std::uint32_t s = allocSlot();
+    slot(s) = msg;
+    ++inFlight_;
+    eq_.scheduleAt(when, [this, s] { deliverSlot(s); });
+}
+
+void
+MeshNetwork::sendAt(const protocol::Message &msg, Tick departure)
+{
+    if (perturb_) {
+        // The jitter clamp requires sends to be observed in departure
+        // order; re-create the intermediate event the fast path elides.
+        eq_.scheduleAt(departure, [this, msg] { send(msg); });
+        return;
+    }
+    if (msg.dest >= deliver_.size() || !deliver_[msg.dest])
+        panic("MeshNetwork: no receiver for %s", msg.toString().c_str());
+    ++messages;
+    if (protocol::carriesData(msg.type))
+        ++dataMessages;
+    std::uint32_t s = allocSlot();
+    slot(s) = msg;
+    ++inFlight_;
+    eq_.scheduleAt(departure + transit(msg.src, msg.dest),
+                   [this, s] { deliverSlot(s); });
 }
 
 } // namespace flashsim::network

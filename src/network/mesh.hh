@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "protocol/message.hh"
@@ -49,6 +50,17 @@ class MeshNetwork
     /** Inject a message; it is delivered after its transit latency. */
     void send(const protocol::Message &msg);
 
+    /**
+     * Inject a message that leaves its source NI at @p departure
+     * (>= now): delivered at departure + transit. Equivalent to
+     * scheduling an event at @p departure that calls send(), minus
+     * that intermediate event — the sender's outbox hands the future
+     * departure time straight to the network. Under an active
+     * perturbation this falls back to the two-stage path, because the
+     * anti-reordering clamp must observe sends in departure order.
+     */
+    void sendAt(const protocol::Message &msg, Tick departure);
+
     /** Average transit latency in cycles (22 for 16 nodes). */
     Cycles avgTransit() const { return avgTransit_; }
 
@@ -73,7 +85,28 @@ class MeshNetwork
     Counter messages = 0;
     Counter dataMessages = 0;
 
+    /** In-flight slab slots currently occupied (tests/diagnostics). */
+    std::uint32_t inFlight() const { return inFlight_; }
+    /** Total slab capacity allocated so far (tests/diagnostics). */
+    std::uint32_t slabCapacity() const
+    {
+        return static_cast<std::uint32_t>(slab_.size()) * kSlabChunk;
+    }
+
   private:
+    /** Messages per slab chunk; chunk storage never moves, so a
+     *  delivery may hold a reference across nested sends. */
+    static constexpr std::uint32_t kSlabChunk = 128;
+    using SlabChunk = std::unique_ptr<protocol::Message[]>;
+
+    std::uint32_t allocSlot();
+    void deliverSlot(std::uint32_t slot);
+    protocol::Message &
+    slot(std::uint32_t s)
+    {
+        return slab_[s / kSlabChunk][s % kSlabChunk];
+    }
+
     EventQueue &eq_;
     int numNodes_;
     int side_;
@@ -83,6 +116,13 @@ class MeshNetwork
     std::function<Cycles(const protocol::Message &)> perturb_;
     /** Last scheduled delivery per (src, dest), perturbed mode only. */
     std::vector<Tick> lastDelivery_;
+
+    /** Pooled in-flight message slab: sends park the message in a
+     *  freelist-recycled slot and the delivery callback captures only
+     *  the 4-byte slot index (no Message copy in the event core). */
+    std::vector<SlabChunk> slab_;
+    std::vector<std::uint32_t> freeSlots_;
+    std::uint32_t inFlight_ = 0;
 };
 
 } // namespace flashsim::network

@@ -243,7 +243,10 @@ struct MicroResult
     std::uint32_t target = 0;
 };
 
-MicroResult
+/** Inlined into both issue slots of the dynamic loop: the call/return
+ *  and the by-value MicroResult otherwise cost as much as the typical
+ *  one-ALU-op payload. */
+[[gnu::always_inline]] inline MicroResult
 execMicro(const MicroOp &m, RegFile &regs, PpMemory &mem,
           std::vector<SentMessage> &sent, Cycles &stall)
 {
@@ -394,6 +397,11 @@ PpSim::run(const Program &prog, RegFile &regs, PpMemory &mem,
     // Load destinations of the previous pair; reading one this pair
     // violates the load-delay scheduling contract.
     std::uint32_t prevLoadMask = 0;
+    // Accumulate the per-pair statistics in locals and fold them into
+    // stats once at the end: the loop body keeps them in registers
+    // instead of re-touching the RunStats fields every pair.
+    std::uint64_t instrs = 0, specials = 0, aluBranch = 0, npairsRun = 0;
+    Cycles memStall = 0;
 
     while (true) {
         if (pc >= npairs)
@@ -419,7 +427,11 @@ PpSim::run(const Program &prog, RegFile &regs, PpMemory &mem,
 
         Cycles stall = 0;
         MicroResult ra = execMicro(pair.a, regs, mem, sent, stall);
-        MicroResult rb = execMicro(pair.b, regs, mem, sent, stall);
+        // Slot b is a Nop in every single-issue pair (and many dual-
+        // issue ones): skip the whole switch for it.
+        MicroResult rb;
+        if (pair.b.op != Op::Nop)
+            rb = execMicro(pair.b, regs, mem, sent, stall);
         // Parallel write-back (no intra-pair deps, so order is moot).
         if (ra.destReg > 0)
             regs[ra.destReg] = ra.destVal;
@@ -427,12 +439,12 @@ PpSim::run(const Program &prog, RegFile &regs, PpMemory &mem,
             regs[rb.destReg] = rb.destVal;
         regs[0] = 0;
 
-        stats.instrs += pair.instrsInc;
-        stats.specials += pair.specialsInc;
-        stats.aluBranch += pair.aluBranchInc;
-        ++stats.pairs;
+        instrs += pair.instrsInc;
+        specials += pair.specialsInc;
+        aluBranch += pair.aluBranchInc;
+        ++npairsRun;
         cycles += 1 + stall;
-        stats.memStall += stall;
+        memStall += stall;
 
         prevLoadMask = pair.loadMask;
 
@@ -449,6 +461,11 @@ PpSim::run(const Program &prog, RegFile &regs, PpMemory &mem,
             panic("PpSim: runaway handler '%s'", d.name().c_str());
     }
 
+    stats.instrs += instrs;
+    stats.specials += specials;
+    stats.aluBranch += aluBranch;
+    stats.pairs += npairsRun;
+    stats.memStall += memStall;
     stats.cycles += cycles;
     ++stats.invocations;
     return cycles;

@@ -54,48 +54,121 @@ LinkEntry::pack() const
 DirectoryStore::DirectoryStore(std::uint32_t pool_limit)
     : poolLimit_(pool_limit)
 {
-    // Header + link words accumulate one entry per touched line; start
-    // with room for a few thousand lines so the PP/handler load-store
-    // path does not rehash mid-simulation.
-    words_.reserve(8192);
+    // The link pool is populated sequentially from index 1; pre-size a
+    // first chunk so early handler activity never reallocates.
+    links_.reserve(256);
+    ackTable_.assign(kAckTableEntries, 0);
     mirrorFreeHead();
+}
+
+void
+DirectoryStore::setHeaderWord(std::uint64_t w, std::uint64_t v)
+{
+    std::uint64_t page = w / kPageWords;
+    if (page >= headerPages_.size())
+        headerPages_.resize(page + 1);
+    if (!headerPages_[page]) {
+        headerPages_[page] =
+            std::make_unique<std::uint64_t[]>(kPageWords);
+        // make_unique value-initializes: the page reads as zeros, the
+        // same as absent keys in the historical map-backed store.
+    }
+    headerPages_[page][w % kPageWords] = v;
+}
+
+void
+DirectoryStore::setLinkWord(std::uint64_t idx, std::uint64_t v)
+{
+    if (idx >= links_.size()) {
+        std::size_t want = links_.size() < 128 ? 256 : links_.size() * 2;
+        if (want <= idx)
+            want = static_cast<std::size_t>(idx) + 1;
+        links_.resize(want, 0);
+    }
+    links_[idx] = v;
 }
 
 std::uint64_t
 DirectoryStore::loadWord(Addr a) const
 {
-    auto it = words_.find(a);
-    return it == words_.end() ? 0 : it->second;
+    // Region decoder: header page, link pool, ack table, or overflow.
+    // Misaligned addresses never alias onto a word slot (the historical
+    // store keyed on the raw address), so they take the overflow path.
+    if ((a & 7) == 0) {
+        if (a >= kDirHeaderBase && a < kLinkPoolBase) {
+            std::uint64_t w = (a - kDirHeaderBase) >> 3;
+            if (w < kMaxHeaderWords)
+                return headerWord(w);
+        } else if (a >= kLinkPoolBase && a < kAckTableBase) {
+            std::uint64_t w = (a - kLinkPoolBase) >> 3;
+            if (w < kMaxLinkWords)
+                return linkWord(w);
+        } else if (a >= kAckTableBase) {
+            std::uint64_t w = (a - kAckTableBase) >> 3;
+            if (w < kAckTableEntries)
+                return ackTable_[w];
+        }
+    }
+    auto it = overflow_.find(a);
+    return it == overflow_.end() ? 0 : it->second;
 }
 
 void
 DirectoryStore::storeWord(Addr a, std::uint64_t v)
 {
-    words_[a] = v;
+    if ((a & 7) == 0) {
+        if (a >= kDirHeaderBase && a < kLinkPoolBase) {
+            std::uint64_t w = (a - kDirHeaderBase) >> 3;
+            if (w < kMaxHeaderWords) {
+                setHeaderWord(w, v);
+                return;
+            }
+        } else if (a >= kLinkPoolBase && a < kAckTableBase) {
+            std::uint64_t w = (a - kLinkPoolBase) >> 3;
+            if (w < kMaxLinkWords) {
+                setLinkWord(w, v);
+                return;
+            }
+        } else if (a >= kAckTableBase) {
+            std::uint64_t w = (a - kAckTableBase) >> 3;
+            if (w < kAckTableEntries) {
+                ackTable_[w] = v;
+                return;
+            }
+        }
+    }
+    overflow_[a] = v;
 }
 
 DirHeader
 DirectoryStore::header(Addr line) const
 {
+    std::uint64_t w = lineNumber(line);
+    if (w < kMaxHeaderWords)
+        return DirHeader::unpack(headerWord(w));
     return DirHeader::unpack(loadWord(headerAddr(line)));
 }
 
 void
 DirectoryStore::setHeader(Addr line, const DirHeader &h)
 {
-    storeWord(headerAddr(line), h.pack());
+    std::uint64_t w = lineNumber(line);
+    if (w < kMaxHeaderWords)
+        setHeaderWord(w, h.pack());
+    else
+        storeWord(headerAddr(line), h.pack());
 }
 
 LinkEntry
 DirectoryStore::link(std::uint32_t idx) const
 {
-    return LinkEntry::unpack(loadWord(linkAddr(idx)));
+    return LinkEntry::unpack(linkWord(idx));
 }
 
 void
 DirectoryStore::setLink(std::uint32_t idx, const LinkEntry &e)
 {
-    storeWord(linkAddr(idx), e.pack());
+    setLinkWord(idx, e.pack());
 }
 
 std::uint32_t
@@ -130,7 +203,7 @@ DirectoryStore::mirrorFreeHead()
 {
     // The free-list head lives at link index 0 so PP handler programs can
     // load/store it like the real protocol does.
-    storeWord(linkAddr(0), freeHead_);
+    setLinkWord(0, freeHead_);
 }
 
 void

@@ -21,12 +21,23 @@
  * Header word: bit 0 dirty, bit 1 pending, bits [16,32) head link index,
  * bits [32,48) owner node. Link word: bits [0,16) node, bits [16,32)
  * next link index.
+ *
+ * Storage is a paged flat store rather than a hash map: a region
+ * decoder maps each word address onto one of three index-addressed
+ * backings — fixed-size zero-filled header pages indexed by line
+ * number, a flat link-pool vector, and the fixed ack-table array — so
+ * the word-level view PP programs execute through costs a couple of
+ * compares and an array index instead of a hash probe. Addresses
+ * outside the decoded regions (or misaligned ones) fall back to a
+ * small overflow map, keeping loadWord/storeWord bit-identical to the
+ * historical map-backed store for every address.
  */
 
 #ifndef FLASHSIM_PROTOCOL_DIRECTORY_HH_
 #define FLASHSIM_PROTOCOL_DIRECTORY_HH_
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -45,6 +56,20 @@ inline constexpr Addr kDirHeaderBase = Addr{1} << 44;
  * allocation).
  */
 inline constexpr Addr kLinkPoolBase = (Addr{1} << 45) + 64 * 128;
+
+/** Base of the per-line invalidation-ack counting table (staggered by
+ *  half the MDC sets; see kLinkPoolBase). */
+inline constexpr Addr kAckTableBase = (Addr{1} << 46) + 128 * 128;
+
+/** Entries in the direct-mapped ack table. */
+inline constexpr std::uint32_t kAckTableEntries = 1024;
+
+/** Ack-table entry address for a line (direct-mapped, 1024 entries). */
+constexpr Addr
+ackAddr(Addr addr)
+{
+    return kAckTableBase + (lineNumber(addr) % kAckTableEntries) * 8;
+}
 
 /** Header field bit positions (shared with the PP handler programs). */
 namespace dirfield
@@ -104,6 +129,14 @@ struct LinkEntry
 class DirectoryStore
 {
   public:
+    /** Words per header page (one page covers this many memory lines). */
+    static constexpr std::uint32_t kPageWords = 4096;
+    /** Header words directly decoded; beyond this, overflow map. */
+    static constexpr std::uint64_t kMaxHeaderWords = std::uint64_t{1}
+                                                     << 26;
+    /** Link words directly decoded; beyond this, overflow map. */
+    static constexpr std::uint64_t kMaxLinkWords = std::uint64_t{1} << 26;
+
     /** @param pool_limit maximum live link entries (fatal if exceeded). */
     explicit DirectoryStore(std::uint32_t pool_limit = 1u << 22);
 
@@ -140,12 +173,40 @@ class DirectoryStore
     std::uint32_t liveLinks() const { return liveLinks_; }
 
   private:
+    /** One zero-filled header page. */
+    using Page = std::unique_ptr<std::uint64_t[]>;
+
     std::uint32_t allocLink();
     void freeLink(std::uint32_t idx);
     /** Keep the free-list head word readable by PP programs. */
     void mirrorFreeHead();
 
-    std::unordered_map<Addr, std::uint64_t> words_;
+    // Direct region accessors used by both the word-level decoder and
+    // the typed fast paths.
+    std::uint64_t
+    headerWord(std::uint64_t w) const
+    {
+        std::uint64_t page = w / kPageWords;
+        if (page >= headerPages_.size() || !headerPages_[page])
+            return 0;
+        return headerPages_[page][w % kPageWords];
+    }
+    void setHeaderWord(std::uint64_t w, std::uint64_t v);
+
+    std::uint64_t
+    linkWord(std::uint64_t idx) const
+    {
+        return idx < links_.size() ? links_[idx] : 0;
+    }
+    void setLinkWord(std::uint64_t idx, std::uint64_t v);
+
+    std::vector<Page> headerPages_;
+    std::vector<std::uint64_t> links_;
+    std::vector<std::uint64_t> ackTable_;
+    /** Escape hatch for addresses outside the decoded regions; keeps
+     *  the word view semantics of the historical map-backed store. */
+    std::unordered_map<Addr, std::uint64_t> overflow_;
+
     std::uint32_t freeHead_ = 1;
     std::uint32_t nextUnused_ = 2;
     std::uint32_t poolLimit_;

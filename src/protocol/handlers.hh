@@ -23,6 +23,7 @@
 
 #include "protocol/directory.hh"
 #include "protocol/message.hh"
+#include "sim/small_vector.hh"
 #include "sim/types.hh"
 
 namespace flashsim::protocol
@@ -99,7 +100,9 @@ struct HandlerResult
     HandlerId id = HandlerId::ServeReadMemory;
     int costParam = 0; ///< inval count / sharer-list position, as needed
 
-    std::vector<OutMsg> out;
+    /** Outgoing messages. Inline capacity covers every handler except
+     *  a wide invalidation fan-out, so the hot path never allocates. */
+    SmallVector<OutMsg, 4> out;
 
     bool memRead = false;   ///< handler needs local memory read data
     bool memWrite = false;  ///< handler writes the line back to memory

@@ -1,5 +1,9 @@
 #include "protocol/pp_programs.hh"
 
+#include <memory>
+#include <mutex>
+
+#include "ppisa/decode.hh"
 #include "protocol/directory.hh"
 #include "sim/logging.hh"
 
@@ -629,6 +633,28 @@ buildHandlerPrograms(const ppc::CompileOptions &opts)
         buildForwardToHome("pi_fetchop_remote", MsgType::NetFetchOp),
         opts);
     return p;
+}
+
+std::shared_ptr<const HandlerPrograms>
+sharedHandlerPrograms(const ppc::CompileOptions &opts)
+{
+    // Four possible option combinations; each slot is built once per
+    // process under the lock and pre-decoded before publication so
+    // concurrent machines only ever read the shared set.
+    static std::mutex mu;
+    static std::shared_ptr<const HandlerPrograms> cache[2][2];
+
+    std::lock_guard<std::mutex> lock(mu);
+    std::shared_ptr<const HandlerPrograms> &slot =
+        cache[opts.useSpecialInstrs ? 1 : 0][opts.dualIssue ? 1 : 0];
+    if (!slot) {
+        auto built =
+            std::make_shared<HandlerPrograms>(buildHandlerPrograms(opts));
+        for (const ppisa::Program *p : built->all())
+            p->decoded(); // warm the decode cache while still private
+        slot = std::move(built);
+    }
+    return slot;
 }
 
 const ppisa::Program &

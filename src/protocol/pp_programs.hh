@@ -28,21 +28,14 @@
 
 #include "ppc/compiler.hh"
 #include "ppisa/ppsim.hh"
+#include "protocol/directory.hh"
 #include "protocol/message.hh"
 
 namespace flashsim::protocol
 {
-
-/** Base of the per-line invalidation-ack counting table (staggered by
- *  half the MDC sets; see kLinkPoolBase). */
-inline constexpr Addr kAckTableBase = (Addr{1} << 46) + 128 * 128;
-
-/** Ack-table entry address for a line (direct-mapped, 1024 entries). */
-constexpr Addr
-ackAddr(Addr addr)
-{
-    return kAckTableBase + (lineNumber(addr) % 1024) * 8;
-}
+// kAckTableBase / ackAddr moved to directory.hh (the DirectoryStore
+// region decoder owns the protocol-data address map); re-exported here
+// via the include for existing users.
 
 /**
  * The full set of compiled handler programs. The jump table dispatches
@@ -96,6 +89,18 @@ struct HandlerPrograms
 
 /** Compile all handler programs with the given compiler options. */
 HandlerPrograms buildHandlerPrograms(const ppc::CompileOptions &opts = {});
+
+/**
+ * Process-wide cache of compiled handler programs, keyed by the
+ * compile options. The handler toolchain is deterministic, so every
+ * machine with the same options can share one immutable, pre-decoded
+ * program set instead of re-running the compiler and the pre-decode
+ * pass per Machine. Thread-safe (sweep workers construct machines
+ * concurrently); the returned set is fully decoded before publication,
+ * so the lazy Program::decoded() path is never raced.
+ */
+std::shared_ptr<const HandlerPrograms>
+sharedHandlerPrograms(const ppc::CompileOptions &opts = {});
 
 /**
  * Prepare the handler-ABI register file for @p msg arriving at @p self.

@@ -1,0 +1,299 @@
+/**
+ * @file
+ * Flat open-addressing tables for hot-path bookkeeping.
+ *
+ * Two index-addressed replacements for the std::unordered_map layers
+ * that used to sit between a coherence miss and its handler:
+ *
+ *  - FlatCounterMap: a persistent 64-bit-key -> counter table (linear
+ *    probing, power-of-two capacity) used for the MAGIC per-page
+ *    monitoring counters and their machine-wide aggregation. Iteration
+ *    is in slot order, which is deterministic for a deterministic
+ *    insertion history.
+ *
+ *  - ScratchWordMap: a key -> word buffer that is bulk-reset between
+ *    uses in O(1) via a generation stamp, for the MDC shadow-write
+ *    tracker that is cleared at every handler invocation.
+ *
+ * Neither table supports erase; both grow by doubling and rehashing
+ * when half full, so probes stay short.
+ */
+
+#ifndef FLASHSIM_SIM_FLAT_TABLE_HH_
+#define FLASHSIM_SIM_FLAT_TABLE_HH_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace flashsim
+{
+
+/** Fibonacci-style mixer: spreads clustered keys over the table. */
+constexpr std::uint64_t
+flatTableHash(std::uint64_t key)
+{
+    std::uint64_t h = key * 0x9e3779b97f4a7c15ull;
+    return h ^ (h >> 32);
+}
+
+/**
+ * Open-addressing 64-bit-key -> Counter map with a map-like surface
+ * (operator[], find, count, empty, size, iteration).
+ */
+class FlatCounterMap
+{
+    struct Slot
+    {
+        std::uint64_t key = 0;
+        Counter value = 0;
+        bool used = false;
+    };
+
+  public:
+    using value_type = std::pair<std::uint64_t, Counter>;
+
+    FlatCounterMap() = default;
+
+    /** Pre-size for @p n entries (power-of-two slots, <= half full). */
+    void
+    reserve(std::size_t n)
+    {
+        std::size_t want = 16;
+        while (want < 2 * n)
+            want <<= 1;
+        if (want > slots_.size())
+            rehash(want);
+    }
+
+    bool empty() const { return live_ == 0; }
+    std::size_t size() const { return live_; }
+
+    /** Value for @p key, inserting a zero entry when absent. */
+    Counter &
+    operator[](std::uint64_t key)
+    {
+        if (slots_.empty() || 2 * (live_ + 1) > slots_.size())
+            rehash(slots_.empty() ? 16 : slots_.size() * 2);
+        Slot &s = probe(key);
+        if (!s.used) {
+            s.used = true;
+            s.key = key;
+            s.value = 0;
+            ++live_;
+        }
+        return s.value;
+    }
+
+    /** Pointer to @p key's value, or nullptr when absent. */
+    const Counter *
+    find(std::uint64_t key) const
+    {
+        if (slots_.empty())
+            return nullptr;
+        const Slot &s =
+            const_cast<FlatCounterMap *>(this)->probe(key);
+        return s.used ? &s.value : nullptr;
+    }
+
+    std::size_t count(std::uint64_t key) const
+    {
+        return find(key) != nullptr ? 1 : 0;
+    }
+
+    void
+    clear()
+    {
+        slots_.clear();
+        live_ = 0;
+    }
+
+    /** Slot-order const iterator yielding (key, value) pairs. */
+    class const_iterator
+    {
+      public:
+        using value_type = FlatCounterMap::value_type;
+        using difference_type = std::ptrdiff_t;
+        using reference = value_type;
+        using iterator_category = std::forward_iterator_tag;
+
+        const_iterator() = default;
+        const_iterator(const Slot *p, const Slot *end) : p_(p), end_(end)
+        {
+            skip();
+        }
+
+        value_type operator*() const { return {p_->key, p_->value}; }
+
+        /** Arrow support (e.g. it->first) via a temporary pair. */
+        struct ArrowProxy
+        {
+            value_type pair;
+            const value_type *operator->() const { return &pair; }
+        };
+        ArrowProxy operator->() const { return ArrowProxy{**this}; }
+
+        const_iterator &
+        operator++()
+        {
+            ++p_;
+            skip();
+            return *this;
+        }
+        const_iterator
+        operator++(int)
+        {
+            const_iterator t = *this;
+            ++*this;
+            return t;
+        }
+
+        bool operator==(const const_iterator &o) const
+        {
+            return p_ == o.p_;
+        }
+        bool operator!=(const const_iterator &o) const
+        {
+            return p_ != o.p_;
+        }
+
+      private:
+        void
+        skip()
+        {
+            while (p_ != end_ && !p_->used)
+                ++p_;
+        }
+        const Slot *p_ = nullptr;
+        const Slot *end_ = nullptr;
+    };
+
+    const_iterator begin() const
+    {
+        return {slots_.data(), slots_.data() + slots_.size()};
+    }
+    const_iterator end() const
+    {
+        return {slots_.data() + slots_.size(),
+                slots_.data() + slots_.size()};
+    }
+
+  private:
+    Slot &
+    probe(std::uint64_t key)
+    {
+        std::size_t mask = slots_.size() - 1;
+        std::size_t i = flatTableHash(key) & mask;
+        while (slots_[i].used && slots_[i].key != key)
+            i = (i + 1) & mask;
+        return slots_[i];
+    }
+
+    void
+    rehash(std::size_t new_size)
+    {
+        std::vector<Slot> old = std::move(slots_);
+        slots_.assign(new_size, Slot{});
+        for (const Slot &s : old) {
+            if (!s.used)
+                continue;
+            Slot &d = probe(s.key);
+            d = s;
+        }
+    }
+
+    std::vector<Slot> slots_;
+    std::size_t live_ = 0;
+};
+
+/**
+ * Scratch 64-bit-key -> word map with O(1) bulk reset: each slot
+ * carries the generation it was written in, and reset() just bumps the
+ * current generation so every slot reads as empty.
+ */
+class ScratchWordMap
+{
+    struct Slot
+    {
+        std::uint64_t key = 0;
+        std::uint64_t value = 0;
+        std::uint64_t gen = 0; ///< 0 = never used; matches gen_ = live
+    };
+
+  public:
+    explicit ScratchWordMap(std::size_t initial_slots = 64)
+    {
+        std::size_t want = 16;
+        while (want < initial_slots)
+            want <<= 1;
+        slots_.assign(want, Slot{});
+    }
+
+    /** Forget every entry (O(1): stale generations read as empty). */
+    void
+    reset()
+    {
+        ++gen_;
+        live_ = 0;
+    }
+
+    /** Pointer to @p key's value from the current generation, or null. */
+    const std::uint64_t *
+    find(std::uint64_t key) const
+    {
+        const Slot &s = const_cast<ScratchWordMap *>(this)->probe(key);
+        return s.gen == gen_ ? &s.value : nullptr;
+    }
+
+    /** Insert or overwrite @p key -> @p value. */
+    void
+    put(std::uint64_t key, std::uint64_t value)
+    {
+        if (2 * (live_ + 1) > slots_.size())
+            grow();
+        Slot &s = probe(key);
+        if (s.gen != gen_) {
+            s.gen = gen_;
+            s.key = key;
+            ++live_;
+        }
+        s.value = value;
+    }
+
+    std::size_t size() const { return live_; }
+
+  private:
+    Slot &
+    probe(std::uint64_t key)
+    {
+        std::size_t mask = slots_.size() - 1;
+        std::size_t i = flatTableHash(key) & mask;
+        while (slots_[i].gen == gen_ && slots_[i].key != key)
+            i = (i + 1) & mask;
+        return slots_[i];
+    }
+
+    void
+    grow()
+    {
+        std::vector<Slot> old = std::move(slots_);
+        slots_.assign(old.size() * 2, Slot{});
+        for (const Slot &s : old) {
+            if (s.gen != gen_)
+                continue;
+            Slot &d = probe(s.key);
+            d = s;
+        }
+    }
+
+    std::vector<Slot> slots_;
+    std::uint64_t gen_ = 1;
+    std::size_t live_ = 0;
+};
+
+} // namespace flashsim
+
+#endif // FLASHSIM_SIM_FLAT_TABLE_HH_

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * SmallVector: a vector with inline storage for the first N elements.
+ *
+ * The protocol hot path builds a handful of outgoing messages per
+ * handler invocation; a std::vector heap-allocates for the first
+ * push_back every time. Storing the common case inline makes the
+ * per-invocation message list allocation-free, spilling to the heap
+ * only for the rare large fan-out (one invalidation per sharer).
+ */
+
+#ifndef FLASHSIM_SIM_SMALL_VECTOR_HH_
+#define FLASHSIM_SIM_SMALL_VECTOR_HH_
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace flashsim
+{
+
+template <typename T, std::size_t N>
+class SmallVector
+{
+    static_assert(N > 0, "inline capacity must be nonzero");
+
+  public:
+    using value_type = T;
+    using iterator = T *;
+    using const_iterator = const T *;
+
+    SmallVector() = default;
+
+    SmallVector(const SmallVector &other) { appendAll(other); }
+
+    SmallVector(SmallVector &&other) noexcept { moveFrom(other); }
+
+    SmallVector &
+    operator=(const SmallVector &other)
+    {
+        if (this != &other) {
+            clear();
+            appendAll(other);
+        }
+        return *this;
+    }
+
+    SmallVector &
+    operator=(SmallVector &&other) noexcept
+    {
+        if (this != &other) {
+            destroyAll();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    ~SmallVector() { destroyAll(); }
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    std::size_t capacity() const { return cap_; }
+
+    T *begin() { return data_; }
+    T *end() { return data_ + size_; }
+    const T *begin() const { return data_; }
+    const T *end() const { return data_ + size_; }
+
+    T &operator[](std::size_t i) { return data_[i]; }
+    const T &operator[](std::size_t i) const { return data_[i]; }
+
+    T &back() { return data_[size_ - 1]; }
+    const T &back() const { return data_[size_ - 1]; }
+
+    void
+    push_back(const T &v)
+    {
+        emplace_back(v);
+    }
+
+    void
+    push_back(T &&v)
+    {
+        emplace_back(std::move(v));
+    }
+
+    template <typename... Args>
+    T &
+    emplace_back(Args &&...args)
+    {
+        if (size_ == cap_)
+            grow();
+        T *p = ::new (static_cast<void *>(data_ + size_))
+            T(std::forward<Args>(args)...);
+        ++size_;
+        return *p;
+    }
+
+    /** Destroy all elements; inline storage is retained, heap storage
+     *  is kept for reuse (capacity is never reduced). */
+    void
+    clear()
+    {
+        for (std::size_t i = 0; i < size_; ++i)
+            data_[i].~T();
+        size_ = 0;
+    }
+
+  private:
+    T *
+    inlineData()
+    {
+        return reinterpret_cast<T *>(inline_);
+    }
+
+    bool onHeap() const { return data_ != nullptr && cap_ > N; }
+
+    void
+    grow()
+    {
+        const std::size_t newCap = cap_ * 2;
+        T *fresh = static_cast<T *>(
+            ::operator new(newCap * sizeof(T), std::align_val_t{
+                                                   alignof(T)}));
+        for (std::size_t i = 0; i < size_; ++i) {
+            ::new (static_cast<void *>(fresh + i)) T(std::move(data_[i]));
+            data_[i].~T();
+        }
+        if (onHeap())
+            ::operator delete(data_, std::align_val_t{alignof(T)});
+        data_ = fresh;
+        cap_ = newCap;
+    }
+
+    void
+    destroyAll()
+    {
+        clear();
+        if (onHeap())
+            ::operator delete(data_, std::align_val_t{alignof(T)});
+        data_ = inlineData();
+        cap_ = N;
+    }
+
+    void
+    appendAll(const SmallVector &other)
+    {
+        for (const T &v : other)
+            push_back(v);
+    }
+
+    /** Steal @p other's heap buffer or move its inline elements;
+     *  leaves @p other empty. Precondition: *this holds no elements. */
+    void
+    moveFrom(SmallVector &other) noexcept
+    {
+        if (other.onHeap()) {
+            data_ = other.data_;
+            cap_ = other.cap_;
+            size_ = other.size_;
+            other.data_ = other.inlineData();
+            other.cap_ = N;
+            other.size_ = 0;
+            return;
+        }
+        data_ = inlineData();
+        cap_ = N;
+        for (std::size_t i = 0; i < other.size_; ++i) {
+            ::new (static_cast<void *>(data_ + i))
+                T(std::move(other.data_[i]));
+            other.data_[i].~T();
+        }
+        size_ = other.size_;
+        other.size_ = 0;
+    }
+
+    alignas(T) unsigned char inline_[N * sizeof(T)];
+    T *data_ = reinterpret_cast<T *>(inline_);
+    std::size_t size_ = 0;
+    std::size_t cap_ = N;
+};
+
+} // namespace flashsim
+
+#endif // FLASHSIM_SIM_SMALL_VECTOR_HH_

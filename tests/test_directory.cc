@@ -1,5 +1,9 @@
 /** @file Unit tests for the dynamic pointer allocation directory. */
 
+#include <algorithm>
+#include <random>
+#include <unordered_map>
+
 #include <gtest/gtest.h>
 
 #include "protocol/directory.hh"
@@ -10,6 +14,155 @@ namespace
 {
 
 constexpr Addr kLine = 0x4000;
+
+/**
+ * The historical map-backed word store, with the typed directory
+ * operations layered purely on loadWord/storeWord: the conformance
+ * oracle the paged flat store must match bit for bit. Kept deliberately
+ * naive — every access is a map probe — so its correctness is obvious
+ * by inspection.
+ */
+class LegacyMapStore
+{
+  public:
+    LegacyMapStore() { storeWord(linkAddr(0), freeHead_); }
+
+    std::uint64_t
+    loadWord(Addr a) const
+    {
+        auto it = words_.find(a);
+        return it == words_.end() ? 0 : it->second;
+    }
+    void storeWord(Addr a, std::uint64_t v) { words_[a] = v; }
+
+    DirHeader
+    header(Addr line) const
+    {
+        return DirHeader::unpack(loadWord(headerAddr(line)));
+    }
+    void
+    setHeader(Addr line, const DirHeader &h)
+    {
+        storeWord(headerAddr(line), h.pack());
+    }
+    LinkEntry
+    link(std::uint32_t idx) const
+    {
+        return LinkEntry::unpack(loadWord(linkAddr(idx)));
+    }
+    void
+    setLink(std::uint32_t idx, const LinkEntry &e)
+    {
+        storeWord(linkAddr(idx), e.pack());
+    }
+
+    void
+    addSharer(Addr line, NodeId node)
+    {
+        DirHeader h = header(line);
+        std::uint32_t idx = allocLink();
+        setLink(idx, LinkEntry{node, h.head});
+        h.head = idx;
+        setHeader(line, h);
+    }
+
+    int
+    removeSharer(Addr line, NodeId node)
+    {
+        DirHeader h = header(line);
+        std::uint32_t idx = h.head;
+        std::uint32_t prev = 0;
+        int pos = 0;
+        while (idx != 0) {
+            LinkEntry e = link(idx);
+            if (e.node == node) {
+                if (prev == 0) {
+                    h.head = e.next;
+                    setHeader(line, h);
+                } else {
+                    LinkEntry pe = link(prev);
+                    pe.next = e.next;
+                    setLink(prev, pe);
+                }
+                freeLink(idx);
+                return pos;
+            }
+            prev = idx;
+            idx = e.next;
+            ++pos;
+        }
+        return -1;
+    }
+
+    void
+    clearSharers(Addr line)
+    {
+        DirHeader h = header(line);
+        std::uint32_t idx = h.head;
+        while (idx != 0) {
+            std::uint32_t next = link(idx).next;
+            freeLink(idx);
+            idx = next;
+        }
+        h.head = 0;
+        setHeader(line, h);
+    }
+
+    std::vector<NodeId>
+    sharers(Addr line) const
+    {
+        std::vector<NodeId> out;
+        std::uint32_t idx = header(line).head;
+        while (idx != 0) {
+            LinkEntry e = link(idx);
+            out.push_back(e.node);
+            idx = e.next;
+        }
+        return out;
+    }
+
+    bool
+    isSharer(Addr line, NodeId node) const
+    {
+        std::uint32_t idx = header(line).head;
+        while (idx != 0) {
+            LinkEntry e = link(idx);
+            if (e.node == node)
+                return true;
+            idx = e.next;
+        }
+        return false;
+    }
+
+    /** Highest link index ever written (for word-range comparison). */
+    std::uint32_t maxLinkIndex() const { return nextUnused_; }
+
+  private:
+    std::uint32_t
+    allocLink()
+    {
+        std::uint32_t idx = freeHead_;
+        std::uint32_t next = link(idx).next;
+        if (next == 0) {
+            next = nextUnused_++;
+            setLink(next, LinkEntry{0, 0});
+        }
+        freeHead_ = next;
+        storeWord(linkAddr(0), freeHead_);
+        return idx;
+    }
+    void
+    freeLink(std::uint32_t idx)
+    {
+        setLink(idx, LinkEntry{0, freeHead_});
+        freeHead_ = idx;
+        storeWord(linkAddr(0), freeHead_);
+    }
+
+    std::unordered_map<Addr, std::uint64_t> words_;
+    std::uint32_t freeHead_ = 1;
+    std::uint32_t nextUnused_ = 2;
+};
 
 TEST(DirHeader, PackUnpackRoundtrip)
 {
@@ -187,6 +340,122 @@ TEST(DirectoryStore, StressManyLinesAndSharers)
             EXPECT_GE(d.removeSharer(line, n), 0);
     }
     EXPECT_EQ(d.liveLinks(), 0u);
+}
+
+TEST(DirectoryOracle, RandomizedSequencesMatchLegacyMapStore)
+{
+    // Drive the flat store and the historical map-backed oracle through
+    // the same randomized add/remove/clear/header-poke sequence. The
+    // allocation discipline is deterministic, so not just the typed
+    // results but the raw word view must stay bit-identical throughout.
+    std::mt19937 rng(0xf1a54u);
+    DirectoryStore d;
+    LegacyMapStore o;
+    constexpr int kLines = 12;
+    constexpr NodeId kNodes = 16;
+    constexpr int kOps = 4000;
+
+    auto line_of = [](int i) { return static_cast<Addr>(i) * kLineSize; };
+
+    for (int i = 0; i < kOps; ++i) {
+        Addr line = line_of(static_cast<int>(rng() % kLines));
+        NodeId node = static_cast<NodeId>(rng() % kNodes);
+        switch (rng() % 8) {
+        case 0:
+        case 1:
+        case 2:
+        case 3:
+            // The protocol never double-adds a sharer; mirror that.
+            if (!d.isSharer(line, node)) {
+                d.addSharer(line, node);
+                o.addSharer(line, node);
+            }
+            break;
+        case 4:
+        case 5:
+            ASSERT_EQ(d.removeSharer(line, node),
+                      o.removeSharer(line, node));
+            break;
+        case 6:
+            d.clearSharers(line);
+            o.clearSharers(line);
+            break;
+        case 7: {
+            // Flip dirty/owner through the raw word view, the way a PP
+            // handler program would.
+            std::uint64_t w = d.loadWord(headerAddr(line));
+            ASSERT_EQ(w, o.loadWord(headerAddr(line)));
+            DirHeader h = DirHeader::unpack(w);
+            h.dirty = !h.dirty;
+            h.owner = node;
+            d.storeWord(headerAddr(line), h.pack());
+            o.storeWord(headerAddr(line), h.pack());
+            break;
+        }
+        }
+        ASSERT_EQ(d.isSharer(line, node), o.isSharer(line, node));
+    }
+
+    for (int l = 0; l < kLines; ++l) {
+        Addr line = line_of(l);
+        EXPECT_EQ(d.sharers(line), o.sharers(line)) << "line " << l;
+        EXPECT_EQ(d.loadWord(headerAddr(line)), o.loadWord(headerAddr(line)))
+            << "header word, line " << l;
+    }
+    // Whole link-pool region, including the mirrored free head at index
+    // 0 and every slot the sequence ever touched.
+    for (std::uint32_t idx = 0; idx <= o.maxLinkIndex(); ++idx)
+        EXPECT_EQ(d.loadWord(linkAddr(idx)), o.loadWord(linkAddr(idx)))
+            << "link word " << idx;
+}
+
+TEST(DirectoryOracle, WordViewMatchesOutsideDecodedRegions)
+{
+    // Misaligned and out-of-region addresses take the overflow path and
+    // must behave exactly like the historical map: keyed on the raw
+    // address, zero until written.
+    DirectoryStore d;
+    LegacyMapStore o;
+    const Addr addrs[] = {
+        headerAddr(kLine) + 1,              // misaligned header
+        linkAddr(7) + 3,                    // misaligned link
+        Addr{0x1234},                       // below every region
+        kAckTableBase + kAckTableEntries * 8, // past the ack table
+    };
+    for (Addr a : addrs) {
+        EXPECT_EQ(d.loadWord(a), o.loadWord(a));
+        d.storeWord(a, 0xdeadbeef0 + a);
+        o.storeWord(a, 0xdeadbeef0 + a);
+        EXPECT_EQ(d.loadWord(a), o.loadWord(a));
+    }
+    // The misaligned stores must not have leaked into the aligned slots.
+    EXPECT_EQ(d.loadWord(headerAddr(kLine)), o.loadWord(headerAddr(kLine)));
+    EXPECT_EQ(d.loadWord(linkAddr(7)), o.loadWord(linkAddr(7)));
+}
+
+TEST(DirectoryStore, FreeListReusedAfterClearSharers)
+{
+    DirectoryStore d;
+    constexpr NodeId kSharerCount = 8;
+    for (NodeId n = 0; n < kSharerCount; ++n)
+        d.addSharer(kLine, n);
+    // Record the pool high-water mark: the largest link index on the
+    // list after the first fill.
+    std::uint32_t high = 0;
+    for (std::uint32_t idx = d.header(kLine).head; idx != 0;
+         idx = d.link(idx).next)
+        high = std::max(high, idx);
+
+    d.clearSharers(kLine);
+    EXPECT_EQ(d.liveLinks(), 0u);
+
+    for (NodeId n = 0; n < kSharerCount; ++n)
+        d.addSharer(kLine, n);
+    EXPECT_EQ(d.liveLinks(), kSharerCount);
+    // Refilling must recycle the freed slots, never grow the pool.
+    for (std::uint32_t idx = d.header(kLine).head; idx != 0;
+         idx = d.link(idx).next)
+        EXPECT_LE(idx, high);
 }
 
 } // namespace

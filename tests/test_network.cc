@@ -1,5 +1,8 @@
 /** @file Unit tests for the mesh network model. */
 
+#include <utility>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "network/mesh.hh"
@@ -125,6 +128,135 @@ TEST(MeshNetwork, FifoPerPair)
     });
     eq.run();
     EXPECT_EQ(order, (std::vector<Addr>{1, 2}));
+}
+
+TEST(MeshNetwork, PerturbJitterClampsToFifo)
+{
+    // A later message with less jitter must not overtake an earlier
+    // heavily-jittered one on the same (src, dest) pair.
+    EventQueue eq;
+    MeshNetwork net(eq, 4);
+    std::vector<std::pair<Addr, Tick>> deliveries;
+    net.connect(1, [&](const protocol::Message &m) {
+        deliveries.emplace_back(m.addr, eq.now());
+    });
+    net.setPerturb([](const protocol::Message &m) -> Cycles {
+        return m.addr == 1 ? 500 : 0;
+    });
+    eq.schedule(0, [&] {
+        protocol::Message a = msg(0, 1);
+        a.addr = 1;
+        net.send(a);
+    });
+    eq.schedule(1, [&] {
+        protocol::Message b = msg(0, 1);
+        b.addr = 2;
+        net.send(b);
+    });
+    eq.run();
+    ASSERT_EQ(deliveries.size(), 2u);
+    EXPECT_EQ(deliveries[0].first, 1u);
+    EXPECT_EQ(deliveries[1].first, 2u);
+    EXPECT_GE(deliveries[1].second, deliveries[0].second);
+}
+
+TEST(MeshNetwork, PerturbReinstallDropsStaleClamps)
+{
+    // A perturb pushed lastDelivery_ far into the future; clearing it
+    // and installing a fresh one must start from a clean clamp table,
+    // not hold new traffic behind the old floors.
+    EventQueue eq;
+    MeshNetwork net(eq, 4);
+    Tick delivered = 0;
+    net.connect(1, [&](const protocol::Message &) { delivered = eq.now(); });
+
+    net.setPerturb([](const protocol::Message &) -> Cycles {
+        return 100000;
+    });
+    net.send(msg(0, 1));
+    eq.run();
+    EXPECT_GE(delivered, 100000u);
+
+    net.setPerturb({}); // remove
+    net.setPerturb([](const protocol::Message &) -> Cycles { return 0; });
+    Tick start = eq.now();
+    net.send(msg(0, 1));
+    eq.run();
+    EXPECT_EQ(delivered, start + net.transit(0, 1));
+}
+
+TEST(MeshNetwork, SendAtDeliversAtDeparturePlusTransit)
+{
+    EventQueue eq;
+    MeshNetwork net(eq, 16);
+    Tick delivered = 0;
+    net.connect(3, [&](const protocol::Message &) { delivered = eq.now(); });
+    eq.schedule(10, [&] { net.sendAt(msg(0, 3), eq.now() + 7); });
+    eq.run();
+    EXPECT_EQ(delivered, 10u + 7u + net.avgTransit());
+    EXPECT_EQ(net.messages, 1u);
+}
+
+TEST(MeshNetwork, SendAtUnderPerturbKeepsFifoClamp)
+{
+    // sendAt falls back to the two-stage path under a perturb, so the
+    // anti-reordering clamp still observes sends in departure order.
+    EventQueue eq;
+    MeshNetwork net(eq, 4);
+    std::vector<Addr> order;
+    net.connect(1, [&](const protocol::Message &m) {
+        order.push_back(m.addr);
+    });
+    net.setPerturb([](const protocol::Message &m) -> Cycles {
+        return m.addr == 1 ? 300 : 0;
+    });
+    eq.schedule(0, [&] {
+        protocol::Message a = msg(0, 1);
+        a.addr = 1;
+        net.sendAt(a, eq.now() + 2);
+        protocol::Message b = msg(0, 1);
+        b.addr = 2;
+        net.sendAt(b, eq.now() + 5);
+    });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<Addr>{1, 2}));
+}
+
+TEST(MeshNetwork, SlabSlotsRecycleAcrossSends)
+{
+    // Sequential send/deliver cycles must recycle freed slots instead
+    // of growing the slab: the capacity stays at one chunk no matter
+    // how many messages pass through.
+    EventQueue eq;
+    MeshNetwork net(eq, 4);
+    int received = 0;
+    net.connect(1, [&](const protocol::Message &) { ++received; });
+    for (int i = 0; i < 1000; ++i) {
+        net.send(msg(0, 1));
+        eq.run();
+    }
+    EXPECT_EQ(received, 1000);
+    EXPECT_EQ(net.inFlight(), 0u);
+    EXPECT_EQ(net.slabCapacity(), 128u);
+}
+
+TEST(MeshNetwork, SlabGrowsUnderBurstThenDrains)
+{
+    // A burst wider than one chunk grows the slab; every slot is back
+    // on the free list once the burst drains.
+    EventQueue eq;
+    MeshNetwork net(eq, 4);
+    int received = 0;
+    net.connect(1, [&](const protocol::Message &) { ++received; });
+    constexpr int kBurst = 300;
+    eq.schedule(0, [&] {
+        for (int i = 0; i < kBurst; ++i)
+            net.send(msg(0, 1));
+    });
+    eq.run();
+    EXPECT_EQ(received, kBurst);
+    EXPECT_EQ(net.inFlight(), 0u);
+    EXPECT_GE(net.slabCapacity(), static_cast<std::uint32_t>(kBurst));
 }
 
 TEST(MeshNetwork, UnconnectedDestinationPanics)
