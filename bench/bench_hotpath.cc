@@ -128,16 +128,22 @@ BM_EventQueueScheduleRun(benchmark::State &state)
  * the way PpTimingModel does per invocation (register-file setup +
  * emulated execution). The mix alternates the hot read path (GET at
  * home, clean) with the cheap forward program.
+ *
+ * Two registrations share this body: BM_PpHandlerDispatch runs the
+ * decoded interpreter, BM_PpDispatchCompiled the threaded-code backend
+ * (scripts/bench_gate.py enforces a >= 2x ratio between them). Release
+ * builds leave the conformance oracle off (see PpSim::oracleEnabled),
+ * so the threaded number is the production configuration.
  */
 void
-BM_PpHandlerDispatch(benchmark::State &state)
+dispatchBench(benchmark::State &state, ppisa::PpBackend backend)
 {
     using protocol::Message;
     using protocol::MsgType;
 
     static const protocol::HandlerPrograms programs =
         protocol::buildHandlerPrograms();
-    ppisa::PpSim sim;
+    ppisa::PpSim sim(backend);
     ppisa::FlatPpMemory mem;
     ppisa::RunStats stats;
     std::vector<ppisa::SentMessage> sent;
@@ -156,28 +162,47 @@ BM_PpHandlerDispatch(benchmark::State &state)
     fwd.requester = 0;
     fwd.addr = 0x20000;
 
+    // Resolve programs and pin their decodes up front, the way
+    // PpTimingModel's dispatch table does at construction; the measured
+    // loop then uses the same pre-resolved run() entry the per-message
+    // path uses.
+    const ppisa::Program &getProg =
+        programs.forMessage(get.type, /*at_home=*/true);
+    const ppisa::DecodedProgram &getDec = getProg.decoded();
+    const ppisa::Program &fwdProg =
+        programs.forMessage(fwd.type, /*at_home=*/false);
+    const ppisa::DecodedProgram &fwdDec = fwdProg.decoded();
+
     Cycles total = 0;
     for (auto _ : state) {
         {
-            const ppisa::Program &p =
-                programs.forMessage(get.type, /*at_home=*/true);
             ppisa::RegFile regs =
                 protocol::makeHandlerRegs(get, 0, 0, false);
             sent.clear();
-            total += sim.run(p, regs, mem, sent, stats);
+            total += sim.run(getProg, getDec, regs, mem, sent, stats);
         }
         {
-            const ppisa::Program &p =
-                programs.forMessage(fwd.type, /*at_home=*/false);
             ppisa::RegFile regs =
                 protocol::makeHandlerRegs(fwd, 0, 1, false);
             sent.clear();
-            total += sim.run(p, regs, mem, sent, stats);
+            total += sim.run(fwdProg, fwdDec, regs, mem, sent, stats);
         }
     }
     benchmark::DoNotOptimize(total);
     state.SetItemsProcessed(
         static_cast<std::int64_t>(state.iterations()) * 2);
+}
+
+void
+BM_PpHandlerDispatch(benchmark::State &state)
+{
+    dispatchBench(state, ppisa::PpBackend::Interpreter);
+}
+
+void
+BM_PpDispatchCompiled(benchmark::State &state)
+{
+    dispatchBench(state, ppisa::PpBackend::Threaded);
 }
 
 /**
@@ -306,6 +331,7 @@ BENCHMARK(BM_EventQueueHold)->Arg(1)->Arg(16)->Arg(256)->Arg(4096);
 BENCHMARK(BM_EventQueueHoldFar)->Arg(256)->Arg(4096);
 BENCHMARK(BM_EventQueueScheduleRun)->Arg(64)->Arg(1024)->Arg(16384);
 BENCHMARK(BM_PpHandlerDispatch);
+BENCHMARK(BM_PpDispatchCompiled);
 BENCHMARK(BM_DirectoryOps);
 BENCHMARK(BM_StatHandle);
 BENCHMARK(BM_MeshSend);

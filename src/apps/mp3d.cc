@@ -1,5 +1,7 @@
 #include "apps/mp3d.hh"
 
+#include "sim/logging.hh"
+
 namespace flashsim::apps
 {
 
@@ -12,6 +14,11 @@ constexpr Addr kCellBytes = 64;     ///< counters, collision partners
 void
 Mp3d::setup(machine::Machine &m)
 {
+    // Particle placement and drift both draw rng.below(p_.cells); a
+    // zero-cell configuration must fail fast, not divide by zero.
+    if (p_.cells <= 0)
+        panic("Mp3d: cells must be positive (got %d)", p_.cells);
+
     nprocs_ = m.numProcs();
     perProc_ = p_.particles / nprocs_;
 

@@ -1,16 +1,31 @@
 #include "apps/os_workload.hh"
 
+#include "sim/logging.hh"
+
 namespace flashsim::apps
 {
 
 namespace
 {
 constexpr int kNumLocks = 6; ///< fs, vm, proc, buffer, vnode, sched
+// The task loop draws a non-fs lock as 1 + below(kNumLocks - 1), so a
+// single-lock configuration would pass Rng::below a zero bound
+// (division by zero before that assertion existed).
+static_assert(kNumLocks > 1, "need at least one non-fs kernel lock");
 } // namespace
 
 void
 OsWorkload::setup(machine::Machine &m)
 {
+    // The kernel phases draw uniformly over these ranges every task, so
+    // a degenerate sweep configuration must fail here with a clear
+    // message rather than hand Rng::below a zero bound mid-run.
+    if (p_.fileCacheLines <= 0 || p_.kernelTableLines <= 0 ||
+        p_.hotLines <= 0)
+        panic("OsWorkload: fileCacheLines/kernelTableLines/hotLines "
+              "must be positive (got %d/%d/%d)", p_.fileCacheLines,
+              p_.kernelTableLines, p_.hotLines);
+
     nprocs_ = m.numProcs();
     for (int p = 0; p < nprocs_; ++p)
         userBase_.push_back(

@@ -108,7 +108,7 @@ PpTimingModel::PpTimingModel(const protocol::HandlerPrograms &programs,
                              const MagicParams &params)
     : programs_(programs), params_(params),
       mdc_(params.mdcBytes, params.mdcAssoc, params.mdcLineBytes),
-      shadow_(dir, mdc_, params.mdcMissPenalty)
+      shadow_(dir, mdc_, params.mdcMissPenalty), sim_(params.ppBackend)
 {
     // Resolve the (type, at_home) -> program mapping once — the handler
     // load point — pre-decoding each program so no dispatch or decode
@@ -121,13 +121,14 @@ PpTimingModel::PpTimingModel(const protocol::HandlerPrograms &programs,
                 static_cast<protocol::MsgType>(t), at_home != 0);
             if (prog == nullptr)
                 continue;
-            prog->decoded();
+            const ppisa::DecodedProgram &decoded = prog->decoded();
             auto it = std::find(uniq.begin(), uniq.end(), prog);
             if (it == uniq.end())
                 it = uniq.insert(uniq.end(), prog);
             dispatch_[static_cast<std::size_t>(t)]
                      [static_cast<std::size_t>(at_home)] = DispatchEntry{
-                prog, static_cast<std::int8_t>(it - uniq.begin())};
+                prog, &decoded,
+                static_cast<std::int8_t>(it - uniq.begin())};
         }
     }
 }
@@ -145,7 +146,8 @@ PpTimingModel::preHandler(const protocol::Message &msg, NodeId self,
     ppisa::RegFile regs =
         protocol::makeHandlerRegs(msg, self, home, cache_dirty);
     sent_.clear();
-    Cycles cycles = sim_.run(*e.prog, regs, shadow_, sent_, stats_);
+    Cycles cycles =
+        sim_.run(*e.prog, *e.decoded, regs, shadow_, sent_, stats_);
 
     last_ = HandlerTiming{};
     last_.occupancy = cycles;

@@ -135,6 +135,10 @@ class PpTimingModel : public HandlerTimingModel
     struct DispatchEntry
     {
         const ppisa::Program *prog = nullptr;
+        /** prog->decoded(), pinned at construction so the per-message
+         *  path uses PpSim's pre-resolved run() overload (no decode
+         *  fingerprint check per invocation). */
+        const ppisa::DecodedProgram *decoded = nullptr;
         std::int8_t warmSlot = -1;
     };
 

@@ -1,0 +1,104 @@
+#include "ppc/profile.hh"
+
+#include <algorithm>
+#include <sstream>
+
+namespace flashsim::ppc
+{
+
+using ppisa::Op;
+using ppisa::kNumOps;
+
+void
+MicroOpProfile::addProgram(const ppisa::Program &prog)
+{
+    for (const ppisa::InstrPair &pair : prog.pairs()) {
+        ++pairs_[static_cast<int>(pair.a.op)]
+               [static_cast<int>(pair.b.op)];
+        ++totalPairs_;
+    }
+}
+
+std::uint64_t
+MicroOpProfile::opCount(Op op) const
+{
+    const int i = static_cast<int>(op);
+    std::uint64_t n = 0;
+    for (int j = 0; j < kNumOps; ++j)
+        n += pairs_[i][j] + pairs_[j][i];
+    // Both slots the same opcode: counted once per slot, so (i,i) pairs
+    // contribute two occurrences — which the sum above already does.
+    return n;
+}
+
+std::uint64_t
+MicroOpProfile::pairCount(Op a, Op b) const
+{
+    return pairs_[static_cast<int>(a)][static_cast<int>(b)];
+}
+
+std::vector<PairFreq>
+MicroOpProfile::hottest(std::size_t n) const
+{
+    std::vector<PairFreq> all;
+    for (int a = 0; a < kNumOps; ++a) {
+        for (int b = 0; b < kNumOps; ++b) {
+            if (pairs_[a][b] == 0)
+                continue;
+            if (a == static_cast<int>(Op::Nop) &&
+                b == static_cast<int>(Op::Nop))
+                continue; // padding: nothing to fuse
+            all.push_back(PairFreq{static_cast<Op>(a),
+                                   static_cast<Op>(b), pairs_[a][b]});
+        }
+    }
+    std::stable_sort(all.begin(), all.end(),
+                     [](const PairFreq &x, const PairFreq &y) {
+                         return x.count > y.count;
+                     });
+    if (all.size() > n)
+        all.resize(n);
+    return all;
+}
+
+std::vector<PairFreq>
+MicroOpProfile::hottestDual(std::size_t n) const
+{
+    std::vector<PairFreq> dual;
+    for (const PairFreq &p : hottest(static_cast<std::size_t>(-1)))
+        if (p.a != Op::Nop && p.b != Op::Nop)
+            dual.push_back(p);
+    if (dual.size() > n)
+        dual.resize(n);
+    return dual;
+}
+
+std::string
+MicroOpProfile::report() const
+{
+    std::ostringstream os;
+    os << "static micro-op profile: " << totalPairs_ << " pairs\n";
+    os << "  opcode occurrences:\n";
+    for (int i = 0; i < kNumOps; ++i) {
+        const std::uint64_t n = opCount(static_cast<Op>(i));
+        if (n != 0)
+            os << "    " << ppisa::opName(static_cast<Op>(i)) << ": "
+               << n << "\n";
+    }
+    os << "  hottest pairs:\n";
+    for (const PairFreq &p : hottest(24))
+        os << "    [" << ppisa::opName(p.a) << " | " << ppisa::opName(p.b)
+           << "]: " << p.count << "\n";
+    return os.str();
+}
+
+MicroOpProfile
+profilePrograms(const std::vector<const ppisa::Program *> &progs)
+{
+    MicroOpProfile prof;
+    for (const ppisa::Program *p : progs)
+        prof.addProgram(*p);
+    return prof;
+}
+
+} // namespace flashsim::ppc

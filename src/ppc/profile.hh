@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Static micro-op profile pass.
+ *
+ * Walks compiled handler programs (post-decode, so Nop padding and the
+ * scheduler's pairing are visible) and counts static opcode and
+ * issue-pair frequencies. Two consumers:
+ *
+ *  - The threaded-code backend (ppisa/threaded.hh) implements fused
+ *    fast-path kernels for the hottest dual-issue (a, b) combinations
+ *    this pass reports over the protocol handler set; a unit test pins
+ *    the specialized-kernel coverage so the fused set cannot silently
+ *    rot as handlers evolve.
+ *  - Toolchain statistics: the report() breakdown extends the Table 5.2
+ *    static-code numbers with per-opcode and per-pair detail.
+ *
+ * Counts are static (each scheduled pair counted once, loop bodies
+ * unweighted): the protocol handlers are short and loop-light, so
+ * static frequency is a faithful stand-in for dynamic frequency, and it
+ * keeps the pass deterministic with no workload in the loop.
+ */
+
+#ifndef FLASHSIM_PPC_PROFILE_HH_
+#define FLASHSIM_PPC_PROFILE_HH_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ppisa/instruction.hh"
+#include "ppisa/ppsim.hh"
+
+namespace flashsim::ppc
+{
+
+/** One (slot a, slot b) issue-pair combination and its static count. */
+struct PairFreq
+{
+    ppisa::Op a = ppisa::Op::Nop;
+    ppisa::Op b = ppisa::Op::Nop;
+    std::uint64_t count = 0;
+};
+
+/** Accumulated static micro-op statistics over one or more programs. */
+class MicroOpProfile
+{
+  public:
+    /** Fold @p prog's scheduled pairs into the profile. */
+    void addProgram(const ppisa::Program &prog);
+
+    /** Static occurrences of @p op across both issue slots. */
+    std::uint64_t opCount(ppisa::Op op) const;
+
+    /** Static occurrences of the ordered issue pair (@p a, @p b). */
+    std::uint64_t pairCount(ppisa::Op a, ppisa::Op b) const;
+
+    /** Total scheduled pairs folded in (Nop/Nop padding included). */
+    std::uint64_t totalPairs() const { return totalPairs_; }
+
+    /**
+     * The @p n most frequent pair combinations, most frequent first.
+     * Ties break toward lower opcode values so the order is stable.
+     * Pure Nop/Nop padding pairs are excluded (nothing to fuse).
+     */
+    std::vector<PairFreq> hottest(std::size_t n) const;
+
+    /** Like hottest(), but only genuinely dual-issue pairs (both slots
+     *  non-Nop) — the fusion candidates for the threaded backend. */
+    std::vector<PairFreq> hottestDual(std::size_t n) const;
+
+    /** Human-readable breakdown (opcode table + hottest pairs). */
+    std::string report() const;
+
+  private:
+    std::uint64_t pairs_[ppisa::kNumOps][ppisa::kNumOps] = {};
+    std::uint64_t totalPairs_ = 0;
+};
+
+/** Profile every program in @p progs (e.g. HandlerPrograms::all()). */
+MicroOpProfile
+profilePrograms(const std::vector<const ppisa::Program *> &progs);
+
+} // namespace flashsim::ppc
+
+#endif // FLASHSIM_PPC_PROFILE_HH_

@@ -336,8 +336,8 @@ scheduleDualIssue(const LinearCode &code)
     std::vector<std::pair<std::size_t, int>> fixups; // (slot index, label)
 
     for (std::size_t b = 0; b < blocks.size(); ++b) {
-        blockPairStart[b] = prog.pairs.size();
-        scheduleBlock(code, blocks[b], prog.pairs, fixups);
+        blockPairStart[b] = prog.mutablePairs().size();
+        scheduleBlock(code, blocks[b], prog.mutablePairs(), fixups);
     }
 
     // Map each instruction index to its containing block.
@@ -360,7 +360,7 @@ scheduleDualIssue(const LinearCode &code)
                   code.name.c_str());
         std::int64_t target_pair =
             static_cast<std::int64_t>(blockPairStart[tb]);
-        ppisa::InstrPair &pair = prog.pairs[slotIdx / 2];
+        ppisa::InstrPair &pair = prog.mutablePairs()[slotIdx / 2];
         (slotIdx % 2 == 0 ? pair.a : pair.b).imm = target_pair;
     }
     return prog;
@@ -375,16 +375,17 @@ scheduleSingleIssue(const LinearCode &code)
     const int n = static_cast<int>(code.instrs.size());
     std::vector<std::size_t> pairOfInstr(n, 0);
     std::vector<std::pair<std::size_t, int>> fixups;
+    std::vector<ppisa::InstrPair> &pairs = prog.mutablePairs();
 
     for (int i = 0; i < n; ++i) {
         const IrInstr &in = code.instrs[i];
-        pairOfInstr[i] = prog.pairs.size();
+        pairOfInstr[i] = pairs.size();
         ppisa::InstrPair pair;
         pair.a = in.toInstr(0);
         pair.b = nop();
         if (in.label >= 0)
-            fixups.emplace_back(prog.pairs.size(), in.label);
-        prog.pairs.push_back(pair);
+            fixups.emplace_back(pairs.size(), in.label);
+        pairs.push_back(pair);
         // DLX load delay: if the next instruction consumes this load's
         // result, or this load ends a block, insert a delay NOP.
         if (in.op == Op::Ld) {
@@ -400,7 +401,7 @@ scheduleSingleIssue(const LinearCode &code)
             // Loads that are branch targets' predecessors are rare; the
             // conservative cases above cover cross-block hazards.
             if (needNop)
-                prog.pairs.push_back(ppisa::InstrPair{nop(), nop()});
+                pairs.push_back(ppisa::InstrPair{nop(), nop()});
         }
     }
 
@@ -409,7 +410,7 @@ scheduleSingleIssue(const LinearCode &code)
         if (target_instr >= n)
             panic("scheduleSingleIssue: label past end in '%s'",
                   code.name.c_str());
-        prog.pairs[pairIdx].a.imm =
+        pairs[pairIdx].a.imm =
             static_cast<std::int64_t>(pairOfInstr[target_instr]);
     }
     return prog;

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * PP execution backend selection.
+ *
+ * Tiny standalone header so configuration layers (magic/params.hh, the
+ * CLI) can name a backend without pulling in the emulator headers.
+ */
+
+#ifndef FLASHSIM_PPISA_BACKEND_HH_
+#define FLASHSIM_PPISA_BACKEND_HH_
+
+namespace flashsim::ppisa
+{
+
+/**
+ * Which engine executes PP handler programs.
+ *
+ *  - Interpreter: the decoded-micro-op interpreter (reference
+ *    semantics; itself oracle-checked against the original per-slot
+ *    interpreter, PpSim::runReference).
+ *  - Threaded: token-threaded code with per-opcode specialized and
+ *    pair-fused kernels (see threaded.hh). Architecturally
+ *    bit-identical to the interpreter — cycles, statistics, messages,
+ *    and contract panics — enforced by the debug conformance oracle
+ *    (FS_PP_ORACLE) and the differential fuzz tests.
+ */
+enum class PpBackend
+{
+    Interpreter,
+    Threaded,
+};
+
+/** Human-readable backend name. */
+constexpr const char *
+ppBackendName(PpBackend b)
+{
+    return b == PpBackend::Interpreter ? "interpreter" : "threaded";
+}
+
+} // namespace flashsim::ppisa
+
+#endif // FLASHSIM_PPISA_BACKEND_HH_

@@ -1,6 +1,7 @@
 #include "ppisa/decode.hh"
 
 #include "ppisa/ppsim.hh"
+#include "ppisa/threaded.hh"
 
 namespace flashsim::ppisa
 {
@@ -52,10 +53,11 @@ srcMaskOf(const Instr &in)
 
 } // namespace
 
-DecodedProgram::DecodedProgram(std::string name,
-                               const std::vector<InstrPair> &pairs)
-    : name_(std::move(name)), src_(pairs.data()), srcCount_(pairs.size())
+DecodedProgram::DecodedProgram(const Program &prog)
+    : name_(prog.name), src_(prog.pairs().data()),
+      srcCount_(prog.pairs().size()), srcVersion_(prog.decodeVersion())
 {
+    const std::vector<InstrPair> &pairs = prog.pairs();
     pairs_.reserve(pairs.size());
     for (const InstrPair &pair : pairs) {
         DecodedPair d;
@@ -100,13 +102,21 @@ DecodedProgram::DecodedProgram(std::string name,
 
         pairs_.push_back(d);
     }
+
+    // Build the threaded-code image here rather than lazily at first
+    // threaded run: pre-decoded program sets (protocol/pp_programs.cc)
+    // are published across sweep worker threads, so everything hanging
+    // off a DecodedProgram must be complete before publication.
+    threaded_ = std::make_unique<const ThreadedProgram>(name_, pairs_);
 }
+
+DecodedProgram::~DecodedProgram() = default;
 
 const DecodedProgram &
 Program::decoded() const
 {
-    if (!decoded_ || !decoded_->matches(pairs))
-        decoded_ = std::make_shared<const DecodedProgram>(name, pairs);
+    if (!decoded_ || !decoded_->matches(*this))
+        decoded_ = std::make_shared<const DecodedProgram>(*this);
     return *decoded_;
 }
 

@@ -22,10 +22,12 @@
 #define FLASHSIM_PPISA_DECODE_HH_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "ppisa/instruction.hh"
+#include "ppisa/ppsim.hh"
 
 namespace flashsim::ppisa
 {
@@ -78,33 +80,45 @@ struct DecodedPair
     std::uint8_t violationReg = 0; ///< register named in the panic
 };
 
+class ThreadedProgram;
+
 /**
  * The decoded image of one Program, built once per handler load and
  * cached on the Program (see Program::decoded()). Remembers which
- * storage it was decoded from so a reloaded/reassigned program is
- * re-decoded automatically.
+ * storage it was decoded from — data pointer, size, and the mutation
+ * version bumped by Program::mutablePairs() — so a reloaded, reassigned,
+ * or in-place-mutated program is re-decoded automatically.
  */
 class DecodedProgram
 {
   public:
-    DecodedProgram(std::string name,
-                   const std::vector<InstrPair> &pairs);
+    explicit DecodedProgram(const Program &prog);
+    ~DecodedProgram();
 
     const std::string &name() const { return name_; }
     const std::vector<DecodedPair> &pairs() const { return pairs_; }
 
-    /** True if this decode was built from exactly @p pairs' storage. */
+    /** The threaded-code image (see threaded.hh), built eagerly with
+     *  the decode so shared pre-decoded program sets publish it too. */
+    const ThreadedProgram &threaded() const { return *threaded_; }
+
+    /** True if this decode was built from exactly @p prog's current
+     *  pairs storage and mutation version. */
     bool
-    matches(const std::vector<InstrPair> &pairs) const
+    matches(const Program &prog) const
     {
-        return src_ == pairs.data() && srcCount_ == pairs.size();
+        return src_ == prog.pairs().data() &&
+               srcCount_ == prog.pairs().size() &&
+               srcVersion_ == prog.decodeVersion();
     }
 
   private:
     std::string name_;
     std::vector<DecodedPair> pairs_;
+    std::unique_ptr<const ThreadedProgram> threaded_;
     const InstrPair *src_;
     std::size_t srcCount_;
+    std::uint64_t srcVersion_;
 };
 
 } // namespace flashsim::ppisa

@@ -56,6 +56,9 @@ enum class Op : std::uint8_t
     Send,  ///< launch outgoing message: type=imm, dest=rs, addr=rt
 };
 
+/** Number of opcodes (Send is the last enumerator). */
+inline constexpr int kNumOps = static_cast<int>(Op::Send) + 1;
+
 /** A single PP instruction (one issue slot). */
 struct Instr
 {

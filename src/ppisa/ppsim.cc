@@ -1,9 +1,12 @@
 #include "ppisa/ppsim.hh"
 
 #include <algorithm>
+#include <cstdlib>
 #include <sstream>
 
 #include "ppisa/decode.hh"
+#include "ppisa/microexec.hh"
+#include "ppisa/threaded.hh"
 #include "sim/logging.hh"
 
 namespace flashsim::ppisa
@@ -13,48 +16,13 @@ std::string
 Program::toString() const
 {
     std::ostringstream os;
-    os << name << " (" << pairs.size() << " pairs, " << codeBytes()
+    os << name << " (" << pairs_.size() << " pairs, " << codeBytes()
        << " bytes)\n";
-    for (std::size_t i = 0; i < pairs.size(); ++i) {
-        os << "  " << i << ": [" << pairs[i].a.toString() << " | "
-           << pairs[i].b.toString() << "]\n";
+    for (std::size_t i = 0; i < pairs_.size(); ++i) {
+        os << "  " << i << ": [" << pairs_[i].a.toString() << " | "
+           << pairs_[i].b.toString() << "]\n";
     }
     return os.str();
-}
-
-std::uint64_t
-FlatPpMemory::load(Addr addr, Cycles &extra_cycles)
-{
-    extra_cycles = 0;
-    return peek(addr);
-}
-
-void
-FlatPpMemory::store(Addr addr, std::uint64_t value, Cycles &extra_cycles)
-{
-    extra_cycles = 0;
-    poke(addr, value);
-}
-
-std::uint64_t
-FlatPpMemory::peek(Addr addr) const
-{
-    for (const auto &kv : data_)
-        if (kv.first == addr)
-            return kv.second;
-    return 0;
-}
-
-void
-FlatPpMemory::poke(Addr addr, std::uint64_t value)
-{
-    for (auto &kv : data_) {
-        if (kv.first == addr) {
-            kv.second = value;
-            return;
-        }
-    }
-    data_.emplace_back(addr, value);
 }
 
 void
@@ -233,162 +201,154 @@ countInstr(const Instr &in, RunStats &stats)
         ++stats.aluBranch;
 }
 
-/** Per-slot execution over a decoded micro-op: execSlot with the
- *  bitfield masks and branch targets already resolved. */
-struct MicroResult
+/** One memory operation observed during a threaded-backend run. */
+struct MemOp
 {
-    int destReg = -1;
-    std::uint64_t destVal = 0;
-    bool branchTaken = false;
-    std::uint32_t target = 0;
+    bool isStore = false;
+    Addr addr = 0;
+    std::uint64_t value = 0; ///< loaded value / stored value
+    Cycles extra = 0;        ///< stall cycles the real memory charged
 };
 
-/** Inlined into both issue slots of the dynamic loop: the call/return
- *  and the by-value MicroResult otherwise cost as much as the typical
- *  one-ALU-op payload. */
-[[gnu::always_inline]] inline MicroResult
-execMicro(const MicroOp &m, RegFile &regs, PpMemory &mem,
-          std::vector<SentMessage> &sent, Cycles &stall)
+/**
+ * Conformance-oracle plumbing: the threaded backend runs against the
+ * real memory through RecordingMemory, which logs every operation;
+ * the reference interpreter then re-runs against ReplayMemory, which
+ * serves the recorded loads (the real memory has already been mutated,
+ * so re-issuing the ops would double-apply stores and observe its own
+ * writes) and cross-checks that the reference issues the exact same
+ * operation sequence.
+ */
+class RecordingMemory : public PpMemory
 {
-    MicroResult r;
-    auto rs = [&] { return regs[m.rs]; };
-    auto rt = [&] { return regs[m.rt]; };
-    auto setDest = [&](std::uint64_t v) {
-        r.destReg = m.rd;
-        r.destVal = v;
-    };
-    auto branch = [&] {
-        r.branchTaken = true;
-        r.target = m.target;
-    };
+  public:
+    explicit RecordingMemory(PpMemory &real) : real_(real) {}
 
-    switch (m.op) {
-      case Op::Nop:
-        break;
-      case Op::Add: setDest(rs() + rt()); break;
-      case Op::Sub: setDest(rs() - rt()); break;
-      case Op::And: setDest(rs() & rt()); break;
-      case Op::Or: setDest(rs() | rt()); break;
-      case Op::Xor: setDest(rs() ^ rt()); break;
-      case Op::Sllv: setDest(rs() << (rt() & 63)); break;
-      case Op::Srlv: setDest(rs() >> (rt() & 63)); break;
-      case Op::Slt:
-        setDest(static_cast<std::int64_t>(rs()) <
-                        static_cast<std::int64_t>(rt())
-                    ? 1
-                    : 0);
-        break;
-      case Op::Sltu: setDest(rs() < rt() ? 1 : 0); break;
-      case Op::Addi:
-        setDest(rs() + static_cast<std::uint64_t>(m.imm));
-        break;
-      case Op::Andi:
-        setDest(rs() & static_cast<std::uint64_t>(m.imm));
-        break;
-      case Op::Ori:
-        setDest(rs() | static_cast<std::uint64_t>(m.imm));
-        break;
-      case Op::Xori:
-        setDest(rs() ^ static_cast<std::uint64_t>(m.imm));
-        break;
-      case Op::Slli: setDest(rs() << (m.imm & 63)); break;
-      case Op::Srli: setDest(rs() >> (m.imm & 63)); break;
-      case Op::Srai:
-        setDest(static_cast<std::uint64_t>(
-            static_cast<std::int64_t>(rs()) >> (m.imm & 63)));
-        break;
-      case Op::Slti:
-        setDest(static_cast<std::int64_t>(rs()) < m.imm ? 1 : 0);
-        break;
-      case Op::Ld: {
-        Cycles extra = 0;
-        std::uint64_t v =
-            mem.load(rs() + static_cast<std::uint64_t>(m.imm), extra);
-        stall += extra;
-        setDest(v);
-        break;
-      }
-      case Op::Sd: {
-        Cycles extra = 0;
-        mem.store(rs() + static_cast<std::uint64_t>(m.imm), rt(), extra);
-        stall += extra;
-        break;
-      }
-      case Op::Beq:
-        if (rs() == rt())
-            branch();
-        break;
-      case Op::Bne:
-        if (rs() != rt())
-            branch();
-        break;
-      case Op::J:
-        branch();
-        break;
-      case Op::Halt:
-        break;
-      case Op::Ffs: {
-        std::uint64_t v = rs();
-        setDest(v == 0 ? 64 : static_cast<std::uint64_t>(
-                                  __builtin_ctzll(v)));
-        break;
-      }
-      case Op::Bbs:
-        if ((rs() >> m.lo) & 1)
-            branch();
-        break;
-      case Op::Bbc:
-        if (!((rs() >> m.lo) & 1))
-            branch();
-        break;
-      case Op::Ext:
-        setDest((rs() >> m.lo) & m.mask);
-        break;
-      case Op::Ins:
-        setDest((regs[m.rd] & ~m.mask) | ((rs() << m.lo) & m.mask));
-        break;
-      case Op::Orfi:
-        setDest(rs() | m.mask);
-        break;
-      case Op::Andfi:
-        setDest(rs() & ~m.mask);
-        break;
-      case Op::Send:
-        sent.push_back(
-            SentMessage{static_cast<int>(m.imm), rs(), rt()});
-        break;
+    std::uint64_t
+    load(Addr addr, Cycles &extra_cycles) override
+    {
+        const std::uint64_t v = real_.load(addr, extra_cycles);
+        log_.push_back(MemOp{false, addr, v, extra_cycles});
+        return v;
     }
-    return r;
-}
 
-/** Name the offending register the way the interpreter did: first
- *  source of slot a then slot b that hits a previous-pair load dest. */
-[[noreturn]] void
-panicLoadDelay(const DecodedPair &pair, std::size_t pc,
-               const DecodedProgram &d, std::uint32_t prev_load_mask)
+    void
+    store(Addr addr, std::uint64_t value, Cycles &extra_cycles) override
+    {
+        real_.store(addr, value, extra_cycles);
+        log_.push_back(MemOp{true, addr, value, extra_cycles});
+    }
+
+    const std::vector<MemOp> &log() const { return log_; }
+
+  private:
+    PpMemory &real_;
+    std::vector<MemOp> log_;
+};
+
+class ReplayMemory : public PpMemory
 {
-    for (const MicroOp *m : {&pair.a, &pair.b}) {
-        for (std::uint8_t i = 0; i < m->nsrcs; ++i) {
-            const std::uint8_t src = m->srcs[i];
-            if (src != 0 && ((prev_load_mask >> src) & 1))
-                panic("PpSim: load-delay violation on r%d at pair %zu "
-                      "of '%s'", int(src), pc, d.name().c_str());
-        }
+  public:
+    ReplayMemory(const std::vector<MemOp> &log, const char *prog_name)
+        : log_(log), name_(prog_name)
+    {
     }
-    panic("PpSim: load-delay violation at pair %zu of '%s'", pc,
-          d.name().c_str()); // unreachable: mask hit implies a source
-}
+
+    std::uint64_t
+    load(Addr addr, Cycles &extra_cycles) override
+    {
+        const MemOp &op = next("load", addr);
+        if (op.isStore || op.addr != addr)
+            mismatch("load", addr);
+        extra_cycles = op.extra;
+        return op.value;
+    }
+
+    void
+    store(Addr addr, std::uint64_t value, Cycles &extra_cycles) override
+    {
+        const MemOp &op = next("store", addr);
+        if (!op.isStore || op.addr != addr || op.value != value)
+            mismatch("store", addr);
+        extra_cycles = op.extra;
+    }
+
+    bool drained() const { return pos_ == log_.size(); }
+
+  private:
+    const MemOp &
+    next(const char *kind, Addr addr)
+    {
+        if (pos_ >= log_.size())
+            panic("PpSim oracle: reference issued an extra %s of "
+                  "0x%llx in '%s' (threaded backend issued %zu memory "
+                  "ops)", kind, static_cast<unsigned long long>(addr),
+                  name_, log_.size());
+        return log_[pos_++];
+    }
+
+    [[noreturn]] void
+    mismatch(const char *kind, Addr addr)
+    {
+        const MemOp &op = log_[pos_ - 1];
+        panic("PpSim oracle: memory-op divergence in '%s' at op %zu: "
+              "reference issued %s of 0x%llx, threaded backend issued "
+              "%s of 0x%llx", name_, pos_ - 1, kind,
+              static_cast<unsigned long long>(addr),
+              op.isStore ? "store" : "load",
+              static_cast<unsigned long long>(op.addr));
+    }
+
+    const std::vector<MemOp> &log_;
+    const char *name_;
+    std::size_t pos_ = 0;
+};
 
 } // namespace
+
+bool
+PpSim::oracleEnabled()
+{
+    static const bool enabled = [] {
+        if (const char *env = std::getenv("FS_PP_ORACLE"))
+            return env[0] == '1' && env[1] == '\0';
+#ifdef NDEBUG
+        return false;
+#else
+        return true;
+#endif
+    }();
+    return enabled;
+}
 
 Cycles
 PpSim::run(const Program &prog, RegFile &regs, PpMemory &mem,
            std::vector<SentMessage> &sent, RunStats &stats) const
 {
-    if (prog.pairs.empty())
+    if (prog.pairs().empty())
+        panic("PpSim: empty program '%s'", prog.name.c_str());
+    return run(prog, prog.decoded(), regs, mem, sent, stats);
+}
+
+Cycles
+PpSim::run(const Program &prog, const DecodedProgram &d, RegFile &regs,
+           PpMemory &mem, std::vector<SentMessage> &sent,
+           RunStats &stats) const
+{
+    if (d.pairs().empty()) [[unlikely]]
         panic("PpSim: empty program '%s'", prog.name.c_str());
 
-    const DecodedProgram &d = prog.decoded();
+    if (backend_ == PpBackend::Threaded) {
+        if (checkThreaded_) [[unlikely]]
+            return runThreadedChecked(prog, regs, mem, sent, stats);
+        // Pick the executor instantiation here rather than through
+        // runThreaded(): one less call on the per-invocation path.
+        if (mem.isFlat())
+            return runThreadedFlat(
+                d, regs, static_cast<FlatPpMemory &>(mem), sent, stats);
+        return runThreaded(d, regs, mem, sent, stats);
+    }
+
     const DecodedPair *pairs = d.pairs().data();
     const std::size_t npairs = d.pairs().size();
 
@@ -420,18 +380,20 @@ PpSim::run(const Program &prog, RegFile &regs, PpMemory &mem,
             panic("PpSim: intra-pair WAW on r%d at pair %zu of '%s'",
                   int(pair.violationReg), pc, d.name().c_str());
         if ((pair.srcMask & prevLoadMask) != 0) [[unlikely]]
-            panicLoadDelay(pair, pc, d, prevLoadMask);
+            detail::panicLoadDelay(pair.a, pair.b, pc, d.name().c_str(),
+                                   prevLoadMask);
         if (pair.violation == Violation::TwoBranch) [[unlikely]]
             panic("PpSim: two branches in pair %zu of '%s'", pc,
                   d.name().c_str());
 
         Cycles stall = 0;
-        MicroResult ra = execMicro(pair.a, regs, mem, sent, stall);
+        detail::MicroResult ra =
+            detail::execMicro(pair.a, regs, mem, sent, stall);
         // Slot b is a Nop in every single-issue pair (and many dual-
         // issue ones): skip the whole switch for it.
-        MicroResult rb;
+        detail::MicroResult rb;
         if (pair.b.op != Op::Nop)
-            rb = execMicro(pair.b, regs, mem, sent, stall);
+            rb = detail::execMicro(pair.b, regs, mem, sent, stall);
         // Parallel write-back (no intra-pair deps, so order is moot).
         if (ra.destReg > 0)
             regs[ra.destReg] = ra.destVal;
@@ -472,10 +434,58 @@ PpSim::run(const Program &prog, RegFile &regs, PpMemory &mem,
 }
 
 Cycles
+PpSim::runThreadedChecked(const Program &prog, RegFile &regs,
+                          PpMemory &mem, std::vector<SentMessage> &sent,
+                          RunStats &stats) const
+{
+    const char *name = prog.name.c_str();
+    const RegFile regsIn = regs;
+
+    RecordingMemory recording(mem);
+    RunStats threadedStats;
+    std::vector<SentMessage> threadedSent;
+    const Cycles cycles = runThreaded(prog.decoded(), regs, recording,
+                                      threadedSent, threadedStats);
+
+    RegFile refRegs = regsIn;
+    ReplayMemory replay(recording.log(), name);
+    RunStats refStats;
+    std::vector<SentMessage> refSent;
+    const Cycles refCycles =
+        runReference(prog, refRegs, replay, refSent, refStats);
+
+    if (refCycles != cycles)
+        panic("PpSim oracle: cycle divergence in '%s': threaded %llu, "
+              "reference %llu", name,
+              static_cast<unsigned long long>(cycles),
+              static_cast<unsigned long long>(refCycles));
+    if (refRegs != regs)
+        for (std::size_t r = 0; r < regs.size(); ++r)
+            if (refRegs[r] != regs[r])
+                panic("PpSim oracle: register divergence in '%s': r%zu "
+                      "threaded 0x%llx, reference 0x%llx", name, r,
+                      static_cast<unsigned long long>(regs[r]),
+                      static_cast<unsigned long long>(refRegs[r]));
+    if (refSent != threadedSent)
+        panic("PpSim oracle: sent-message divergence in '%s': threaded "
+              "%zu messages, reference %zu", name, threadedSent.size(),
+              refSent.size());
+    if (!(refStats == threadedStats))
+        panic("PpSim oracle: statistics divergence in '%s'", name);
+    if (!replay.drained())
+        panic("PpSim oracle: threaded backend issued extra memory ops "
+              "in '%s'", name);
+
+    sent.insert(sent.end(), threadedSent.begin(), threadedSent.end());
+    stats.accumulate(threadedStats);
+    return cycles;
+}
+
+Cycles
 PpSim::runReference(const Program &prog, RegFile &regs, PpMemory &mem,
                     std::vector<SentMessage> &sent, RunStats &stats) const
 {
-    if (prog.pairs.empty())
+    if (prog.pairs().empty())
         panic("PpSim: empty program '%s'", prog.name.c_str());
 
     Cycles cycles = 0;
@@ -485,10 +495,10 @@ PpSim::runReference(const Program &prog, RegFile &regs, PpMemory &mem,
     int prevLoadDest[2] = {-1, -1};
 
     while (true) {
-        if (pc >= prog.pairs.size())
+        if (pc >= prog.pairs().size())
             panic("PpSim: pc %zu out of range in '%s'", pc,
                   prog.name.c_str());
-        const InstrPair &pair = prog.pairs[pc];
+        const InstrPair &pair = prog.pairs()[pc];
 
         // Static-scheduling contract checks.
         int dest_a = pair.a.destReg();

@@ -20,7 +20,9 @@
 #include <string>
 #include <vector>
 
+#include "ppisa/backend.hh"
 #include "ppisa/instruction.hh"
+#include "sim/flat_table.hh"
 #include "sim/types.hh"
 
 namespace flashsim::ppisa
@@ -34,33 +36,57 @@ class DecodedProgram;
  * Branch targets are pair indices. Each pair executes in one PP cycle
  * (plus any memory stall charged by the PpMemory implementation).
  */
-struct Program
+class Program
 {
+  public:
     std::string name;
-    std::vector<InstrPair> pairs;
+
+    /** The scheduled instruction pairs (read-only view). */
+    const std::vector<InstrPair> &pairs() const { return pairs_; }
+
+    /**
+     * Mutable access to the instruction pairs. Every call bumps the
+     * decode version, so any mutation through this accessor — including
+     * an in-place element overwrite that keeps both the data pointer
+     * and the size — is seen by the decode-cache fingerprint and forces
+     * a re-decode on the next execution. Holding the returned reference
+     * across a later decoded() call and mutating through it afterwards
+     * is outside the contract.
+     */
+    std::vector<InstrPair> &
+    mutablePairs()
+    {
+        ++version_;
+        return pairs_;
+    }
+
+    /** Fingerprint component: bumped by every mutablePairs() call. */
+    std::uint64_t decodeVersion() const { return version_; }
 
     /** Static code size in bytes (two 4-byte instruction words per pair),
      *  NOP slots included, matching Table 5.2's "with NOPs" metric. */
-    std::size_t codeBytes() const { return pairs.size() * 8; }
+    std::size_t codeBytes() const { return pairs_.size() * 8; }
 
     std::string toString() const;
 
     /**
      * The pre-decoded image of this program (see decode.hh), built
      * lazily on first use and cached. Rebuilt automatically when the
-     * program is reloaded (the cache remembers which pairs storage it
-     * was decoded from, and reassignment replaces that storage). Only
-     * an in-place mutation of an existing pairs vector that keeps both
-     * data pointer and size needs invalidateDecodeCache(). Lazy build
-     * is not thread-safe; machines own their programs, so cross-thread
-     * sharing does not occur in-tree.
+     * program is reloaded: the cache fingerprints the pairs storage
+     * (data pointer + size) plus the mutation version bumped by every
+     * mutablePairs() call, so reassignment and in-place mutation both
+     * invalidate it. Lazy build is not thread-safe; machines own their
+     * programs, so cross-thread sharing does not occur in-tree.
      */
     const DecodedProgram &decoded() const;
 
-    /** Drop the cached decode (after in-place mutation of pairs). */
+    /** Drop the cached decode (kept for emphasis at call sites; the
+     *  version fingerprint already catches mutablePairs() mutations). */
     void invalidateDecodeCache() const;
 
   private:
+    std::vector<InstrPair> pairs_;
+    std::uint64_t version_ = 0;
     mutable std::shared_ptr<const DecodedProgram> decoded_;
 };
 
@@ -69,6 +95,8 @@ struct Program
  * accessed through the MAGIC data cache. Implementations return the
  * extra stall cycles (0 on an MDC hit, the miss penalty otherwise).
  */
+class FlatPpMemory;
+
 class PpMemory
 {
   public:
@@ -76,22 +104,61 @@ class PpMemory
     virtual std::uint64_t load(Addr addr, Cycles &extra_cycles) = 0;
     virtual void store(Addr addr, std::uint64_t value,
                        Cycles &extra_cycles) = 0;
-};
 
-/** Trivial PpMemory backed by a flat map; every access hits (0 stall). */
-class FlatPpMemory : public PpMemory
-{
-  public:
-    std::uint64_t load(Addr addr, Cycles &extra_cycles) override;
-    void store(Addr addr, std::uint64_t value,
-               Cycles &extra_cycles) override;
+    /**
+     * Devirtualization tag for the threaded backend: true exactly for
+     * FlatPpMemory, whose statically-typed executor instantiation
+     * inlines every memory op instead of making virtual calls. A plain
+     * flag (not a virtual query): the executor tests it on every
+     * handler invocation, where an indirect call is measurable. Cycle
+     * accounting is unaffected — FlatPpMemory never stalls.
+     */
+    bool isFlat() const { return isFlat_; }
 
-    /** Direct (non-timed) backdoor access for test setup. */
-    std::uint64_t peek(Addr addr) const;
-    void poke(Addr addr, std::uint64_t value);
+  protected:
+    PpMemory() = default;
+    /** Only FlatPpMemory may pass true: runThreaded static_casts the
+     *  tagged object to FlatPpMemory. */
+    explicit PpMemory(bool is_flat) : isFlat_(is_flat) {}
 
   private:
-    std::vector<std::pair<Addr, std::uint64_t>> data_;
+    bool isFlat_ = false;
+};
+
+/** Trivial PpMemory backed by a flat hash table; every access hits
+ *  (0 stall). Final + fully inline so the threaded executor's
+ *  FlatPpMemory instantiation folds the whole access into the kernel. */
+class FlatPpMemory final : public PpMemory
+{
+  public:
+    FlatPpMemory() : PpMemory(true) {}
+
+    std::uint64_t
+    load(Addr addr, Cycles &extra_cycles) override
+    {
+        extra_cycles = 0;
+        return peek(addr);
+    }
+
+    void
+    store(Addr addr, std::uint64_t value, Cycles &extra_cycles) override
+    {
+        extra_cycles = 0;
+        poke(addr, value);
+    }
+
+    /** Direct (non-timed) backdoor access for test setup. */
+    std::uint64_t
+    peek(Addr addr) const
+    {
+        const Counter *v = data_.find(addr);
+        return v != nullptr ? *v : 0;
+    }
+
+    void poke(Addr addr, std::uint64_t value) { data_[addr] = value; }
+
+  private:
+    FlatCounterMap data_;
 };
 
 /** An outgoing message launched by a Send instruction. */
@@ -114,6 +181,8 @@ struct RunStats
     std::uint64_t aluBranch = 0;  ///< ALU + branch instructions
     std::uint64_t memStall = 0;   ///< cycles of MDC stall included in cycles
     std::uint64_t invocations = 0; ///< handler invocations accumulated
+
+    bool operator==(const RunStats &) const = default;
 
     void accumulate(const RunStats &other);
 
@@ -139,6 +208,31 @@ class PpSim
     static constexpr Cycles kMaxCycles = 1 << 20;
 
     /**
+     * @param backend which engine run() uses. Interpreter is the
+     * default for direct constructions (tests, tools); the machine
+     * plumbs MagicParams::ppBackend through here. With the Threaded
+     * backend, run() cross-checks every invocation against
+     * runReference() when the conformance oracle is enabled — see
+     * oracleEnabled().
+     */
+    explicit PpSim(PpBackend backend = PpBackend::Interpreter)
+        : backend_(backend),
+          checkThreaded_(backend == PpBackend::Threaded && oracleEnabled())
+    {
+    }
+
+    PpBackend backend() const { return backend_; }
+
+    /**
+     * True when threaded-backend runs are cross-checked step-for-step
+     * against the reference interpreter. Controlled by the FS_PP_ORACLE
+     * environment variable ("1" forces on, anything else forces off);
+     * when unset, on in debug builds (!NDEBUG) and off in release
+     * builds. Read once per process.
+     */
+    static bool oracleEnabled();
+
+    /**
      * Execute @p prog from pair 0 until Halt.
      *
      * Enforces the PP's static-scheduling contract: an intra-pair
@@ -161,6 +255,18 @@ class PpSim
                std::vector<SentMessage> &sent, RunStats &stats) const;
 
     /**
+     * Pre-resolved run() for dispatch tables that pin their programs'
+     * decodes at load time (PpTimingModel resolves every handler's
+     * decode once at construction): @p decoded must be prog.decoded()
+     * and @p prog must not have been mutated since, which skips the
+     * per-invocation decode-cache fingerprint check on the dispatch
+     * hot path. Behaviour is otherwise identical to run() above.
+     */
+    Cycles run(const Program &prog, const DecodedProgram &decoded,
+               RegFile &regs, PpMemory &mem,
+               std::vector<SentMessage> &sent, RunStats &stats) const;
+
+    /**
      * The original per-issue-slot interpreter, which re-decodes each
      * instruction (bitfields, source/dest sets, contract checks) every
      * time it executes. Kept as the conformance oracle for the decode
@@ -170,6 +276,17 @@ class PpSim
     Cycles runReference(const Program &prog, RegFile &regs, PpMemory &mem,
                         std::vector<SentMessage> &sent,
                         RunStats &stats) const;
+
+  private:
+    Cycles runThreadedChecked(const Program &prog, RegFile &regs,
+                              PpMemory &mem,
+                              std::vector<SentMessage> &sent,
+                              RunStats &stats) const;
+
+    PpBackend backend_ = PpBackend::Interpreter;
+    /** Threaded backend + oracle on, latched at construction so run()
+     *  skips the static-local guard of oracleEnabled() per call. */
+    bool checkThreaded_ = false;
 };
 
 } // namespace flashsim::ppisa

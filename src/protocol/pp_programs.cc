@@ -723,28 +723,6 @@ HandlerPrograms::totalCodeBytes() const
     return total;
 }
 
-ppisa::RegFile
-makeHandlerRegs(const Message &msg, NodeId self, NodeId home,
-                bool cache_dirty)
-{
-    ppisa::RegFile regs{};
-    regs[1] = static_cast<std::uint64_t>(msg.type);
-    regs[2] = msg.addr;
-    regs[3] = msg.src;
-    regs[4] = msg.aux;
-    regs[5] = msg.requester;
-    regs[6] = self;
-    regs[7] = home;
-    regs[8] = headerAddr(msg.addr);
-    regs[9] = kLinkPoolBase;
-    regs[10] = cache_dirty ? 1 : 0;
-    regs[11] = ackAddr(msg.addr);
-    // The inbox passes the raw message header through to the PP, so
-    // pass-through sends (forwards, replies, NACKs) need no repacking.
-    regs[12] = packSendArg(msg.addr, msg.aux, msg.requester);
-    return regs;
-}
-
 Message
 decodeSent(const ppisa::SentMessage &s, NodeId self)
 {

@@ -104,9 +104,41 @@ sharedHandlerPrograms(const ppc::CompileOptions &opts = {});
 
 /**
  * Prepare the handler-ABI register file for @p msg arriving at @p self.
+ * Inline: this runs once per handler invocation on the PP dispatch hot
+ * path (see BM_PpHandlerDispatch), where an out-of-line copy of the
+ * 256-byte register file costs as much as several executed pairs.
  */
-ppisa::RegFile makeHandlerRegs(const Message &msg, NodeId self, NodeId home,
-                               bool cache_dirty);
+inline ppisa::RegFile
+makeHandlerRegs(const Message &msg, NodeId self, NodeId home,
+                bool cache_dirty)
+{
+    // Not `RegFile regs{}`: GCC lowers that 256-byte value-init to a
+    // rep-stos memset whose startup latency alone costs as much as the
+    // defined-register stores below. Explicit stores (with the scratch
+    // range unrolled so it is not re-idiomized into memset) compile to
+    // straight vector stores at half the cost.
+    ppisa::RegFile regs;
+    std::uint64_t *const r = regs.data();
+    r[0] = 0;
+    r[1] = static_cast<std::uint64_t>(msg.type);
+    r[2] = msg.addr;
+    r[3] = msg.src;
+    r[4] = msg.aux;
+    r[5] = msg.requester;
+    r[6] = self;
+    r[7] = home;
+    r[8] = headerAddr(msg.addr);
+    r[9] = kLinkPoolBase;
+    r[10] = cache_dirty ? 1 : 0;
+    r[11] = ackAddr(msg.addr);
+    // The inbox passes the raw message header through to the PP, so
+    // pass-through sends (forwards, replies, NACKs) need no repacking.
+    r[12] = packSendArg(msg.addr, msg.aux, msg.requester);
+#pragma GCC unroll 19
+    for (int i = 13; i < ppisa::kNumRegs; ++i)
+        r[i] = 0;
+    return regs;
+}
 
 /** Decode a PP Send back into a protocol message (for conformance). */
 Message decodeSent(const ppisa::SentMessage &s, NodeId self);

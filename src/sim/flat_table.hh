@@ -27,6 +27,7 @@
 #include <utility>
 #include <vector>
 
+#include "sim/stats.hh" // Counter
 #include "sim/types.hh"
 
 namespace flashsim

@@ -10,6 +10,7 @@
 #ifndef FLASHSIM_SIM_RANDOM_HH_
 #define FLASHSIM_SIM_RANDOM_HH_
 
+#include <cassert>
 #include <cstdint>
 
 namespace flashsim
@@ -35,11 +36,28 @@ class Rng
         return x * 0x2545f4914f6cdd1dull;
     }
 
-    /** Uniform integer in [0, bound). @p bound must be nonzero. */
+    /**
+     * Uniform integer in [0, bound). @p bound must be nonzero — with a
+     * zero bound there is no value to return, and the old modulo
+     * implementation hit undefined behaviour (integer division by
+     * zero), so a zero bound from a shrunken workload parameter could
+     * crash or return garbage depending on platform. Callers with
+     * possibly-degenerate ranges must guard (see apps/os_workload.cc).
+     *
+     * Uses the widening-multiply (Lemire) reduction rather than
+     * `next() % bound`: one multiply instead of a 64-bit division, no
+     * modulo bias for bounds that don't divide 2^64 (the old reduction
+     * skewed toward low values by up to bound/2^64), and still exactly
+     * one next() draw per call, so seeded draw sequences keep their
+     * draw counts and replay determinism.
+     */
     std::uint64_t
     below(std::uint64_t bound)
     {
-        return next() % bound;
+        assert(bound != 0 && "Rng::below requires a nonzero bound");
+        const auto wide =
+            static_cast<unsigned __int128>(next()) * bound;
+        return static_cast<std::uint64_t>(wide >> 64);
     }
 
     /** Uniform double in [0, 1). */

@@ -139,7 +139,7 @@ TEST(Compiler, DualIssuePacksTighterThanSingleIssue)
     IrFunction f = makeSpecialFunction();
     Program dual = compile(f, {true, true});
     Program single = compile(f, {true, false});
-    EXPECT_LT(dual.pairs.size(), single.pairs.size());
+    EXPECT_LT(dual.pairs().size(), single.pairs().size());
 }
 
 TEST(Compiler, ExpansionGrowsCodeSize)
@@ -174,7 +174,7 @@ TEST(Compiler, NoSpecialsAfterExpansion)
 {
     IrFunction f = makeSpecialFunction();
     Program base = compile(f, {false, true});
-    for (const auto &pair : base.pairs) {
+    for (const auto &pair : base.pairs()) {
         EXPECT_FALSE(pair.a.isSpecial()) << pair.a.toString();
         EXPECT_FALSE(pair.b.isSpecial()) << pair.b.toString();
     }

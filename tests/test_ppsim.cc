@@ -77,15 +77,15 @@ struct Runner
         // A NOP pair between consecutive instructions keeps load-delay
         // and pairing rules trivially satisfied for semantic tests.
         for (const Instr &i : instrs) {
-            prog.pairs.push_back(InstrPair{i, nop()});
-            prog.pairs.push_back(InstrPair{nop(), nop()});
+            prog.mutablePairs().push_back(InstrPair{i, nop()});
+            prog.mutablePairs().push_back(InstrPair{nop(), nop()});
         }
         // Rewrite branch targets (instruction index -> pair index).
-        for (auto &p : prog.pairs) {
+        for (auto &p : prog.mutablePairs()) {
             if (p.a.isBranch())
                 p.a.imm *= 2;
         }
-        prog.pairs.push_back(InstrPair{halt(), nop()});
+        prog.mutablePairs().push_back(InstrPair{halt(), nop()});
         PpSim sim;
         return sim.run(prog, regs, mem, sent, stats);
     }
@@ -249,8 +249,8 @@ TEST(PpSim, IntraPairRawPanics)
     InstrPair p;
     p.a = rri(Op::Addi, 1, 0, 5);
     p.b = rrr(Op::Add, 2, 1, 1); // reads r1 written by slot a
-    prog.pairs.push_back(p);
-    prog.pairs.push_back(InstrPair{halt(), nop()});
+    prog.mutablePairs().push_back(p);
+    prog.mutablePairs().push_back(InstrPair{halt(), nop()});
     PpSim sim;
     RegFile regs{};
     FlatPpMemory mem;
@@ -263,9 +263,9 @@ TEST(PpSim, LoadDelayViolationPanics)
 {
     Program prog;
     prog.name = "bad2";
-    prog.pairs.push_back(InstrPair{rri(Op::Ld, 1, 0, 0), nop()});
-    prog.pairs.push_back(InstrPair{rrr(Op::Add, 2, 1, 1), nop()});
-    prog.pairs.push_back(InstrPair{halt(), nop()});
+    prog.mutablePairs().push_back(InstrPair{rri(Op::Ld, 1, 0, 0), nop()});
+    prog.mutablePairs().push_back(InstrPair{rrr(Op::Add, 2, 1, 1), nop()});
+    prog.mutablePairs().push_back(InstrPair{halt(), nop()});
     PpSim sim;
     RegFile regs{};
     FlatPpMemory mem;
@@ -292,9 +292,9 @@ TEST(PpSim, MemoryStallsAccumulate)
     };
     Program prog;
     prog.name = "slow";
-    prog.pairs.push_back(InstrPair{rri(Op::Ld, 1, 0, 0), nop()});
-    prog.pairs.push_back(InstrPair{nop(), nop()});
-    prog.pairs.push_back(InstrPair{halt(), nop()});
+    prog.mutablePairs().push_back(InstrPair{rri(Op::Ld, 1, 0, 0), nop()});
+    prog.mutablePairs().push_back(InstrPair{nop(), nop()});
+    prog.mutablePairs().push_back(InstrPair{halt(), nop()});
     PpSim sim;
     RegFile regs{};
     SlowMem mem;
@@ -317,7 +317,7 @@ TEST(PpSim, ProgramToStringContainsName)
 {
     Program prog;
     prog.name = "pi_get";
-    prog.pairs.push_back(InstrPair{halt(), nop()});
+    prog.mutablePairs().push_back(InstrPair{halt(), nop()});
     EXPECT_NE(prog.toString().find("pi_get"), std::string::npos);
     EXPECT_EQ(prog.codeBytes(), 8u);
 }
@@ -331,8 +331,8 @@ TEST(PpSim, TwoBranchesInPairPanics)
     p.b = rrr(Op::Bne, 0, 0, 0);
     p.a.imm = 1;
     p.b.imm = 1;
-    prog.pairs.push_back(p);
-    prog.pairs.push_back(InstrPair{halt(), nop()});
+    prog.mutablePairs().push_back(p);
+    prog.mutablePairs().push_back(InstrPair{halt(), nop()});
     PpSim sim;
     RegFile regs{};
     FlatPpMemory mem;
@@ -476,17 +476,17 @@ TEST(PpDecode, MatchesReferenceOnEveryOpcode)
     Program prog;
     prog.name = "all_ops";
     for (const Instr &i : body) {
-        prog.pairs.push_back(InstrPair{i, nop()});
-        prog.pairs.push_back(InstrPair{nop(), nop()});
+        prog.mutablePairs().push_back(InstrPair{i, nop()});
+        prog.mutablePairs().push_back(InstrPair{nop(), nop()});
     }
-    for (auto &p : prog.pairs)
+    for (auto &p : prog.mutablePairs())
         if (p.a.isBranch())
             p.a.imm *= 2;
-    prog.pairs.push_back(InstrPair{halt(), nop()});
+    prog.mutablePairs().push_back(InstrPair{halt(), nop()});
 
     // Guard: the program really does cover the whole ISA.
     bool seen[32] = {};
-    for (const auto &p : prog.pairs) {
+    for (const auto &p : prog.pairs()) {
         seen[static_cast<int>(p.a.op)] = true;
         seen[static_cast<int>(p.b.op)] = true;
     }
@@ -509,19 +509,19 @@ TEST(PpDecode, MatchesReferenceOnDualIssuePairsAndLoops)
     Program prog;
     prog.name = "dual";
     // r1 = 4 (loop counter), r2 = accumulator base
-    prog.pairs.push_back(
+    prog.mutablePairs().push_back(
         InstrPair{rri(Op::Addi, 1, 0, 4), rri(Op::Addi, 2, 0, 0x100)});
     // loop: { acc += ctr | load m[r2] } ; { ctr -= 1 | nop }
-    prog.pairs.push_back(
+    prog.mutablePairs().push_back(
         InstrPair{rrr(Op::Add, 3, 3, 1), rri(Op::Ld, 4, 2, 0)});
-    prog.pairs.push_back(
+    prog.mutablePairs().push_back(
         InstrPair{rri(Op::Addi, 1, 1, -1), nop()});
     InstrPair back;
     back.a = br(Op::Bne, 1, 0, 1);
     back.b = rrr(Op::Xor, 5, 4, 3); // uses the load, one pair later: ok
-    prog.pairs.push_back(back);
-    prog.pairs.push_back(InstrPair{send(3, 1, 5), nop()});
-    prog.pairs.push_back(InstrPair{halt(), nop()});
+    prog.mutablePairs().push_back(back);
+    prog.mutablePairs().push_back(InstrPair{send(3, 1, 5), nop()});
+    prog.mutablePairs().push_back(InstrPair{halt(), nop()});
 
     expectSameOutcome(prog, RegFile{});
 }
@@ -530,24 +530,24 @@ TEST(PpDecode, ReloadInvalidatesCache)
 {
     Program prog;
     prog.name = "v1";
-    prog.pairs.push_back(InstrPair{rri(Op::Addi, 1, 0, 1), nop()});
-    prog.pairs.push_back(InstrPair{halt(), nop()});
+    prog.mutablePairs().push_back(InstrPair{rri(Op::Addi, 1, 0, 1), nop()});
+    prog.mutablePairs().push_back(InstrPair{halt(), nop()});
 
     const DecodedProgram *first = &prog.decoded();
-    EXPECT_TRUE(first->matches(prog.pairs));
+    EXPECT_TRUE(first->matches(prog));
     EXPECT_EQ(&prog.decoded(), first) << "second call must hit the cache";
 
     // Reload: assigning a new program replaces the pairs storage, so
     // the stale decode no longer matches and is rebuilt on demand.
     Program v2;
     v2.name = "v2";
-    v2.pairs.push_back(InstrPair{rri(Op::Addi, 1, 0, 2), nop()});
-    v2.pairs.push_back(InstrPair{halt(), nop()});
+    v2.mutablePairs().push_back(InstrPair{rri(Op::Addi, 1, 0, 2), nop()});
+    v2.mutablePairs().push_back(InstrPair{halt(), nop()});
     (void)v2.decoded(); // warm v2's own cache, then copy it across
     prog = v2;
 
     const DecodedProgram &redecoded = prog.decoded();
-    EXPECT_TRUE(redecoded.matches(prog.pairs));
+    EXPECT_TRUE(redecoded.matches(prog));
     EXPECT_EQ(redecoded.pairs()[0].a.imm, 2);
 
     PpSim sim;
@@ -559,20 +559,64 @@ TEST(PpDecode, ReloadInvalidatesCache)
     EXPECT_EQ(regs[1], 2u) << "run() must execute the reloaded code";
 }
 
-TEST(PpDecode, InPlaceMutationNeedsExplicitInvalidate)
+TEST(PpDecode, InPlaceMutationForcesRedecode)
 {
-    // Mutating pairs in place keeps data pointer and size, which the
-    // fingerprint cannot see; invalidateDecodeCache() is the contract
-    // for that (no in-tree code path does this — programs are reloaded
-    // by assignment).
+    // Staleness regression test: an in-place element overwrite keeps
+    // both the data pointer and the size, so the old pointer+size
+    // fingerprint could not see it and run() would happily execute the
+    // stale decode. The mutation version bumped by mutablePairs() must
+    // close that gap — with no explicit invalidate call.
     Program prog;
     prog.name = "patch";
-    prog.pairs.push_back(InstrPair{rri(Op::Addi, 1, 0, 7), nop()});
-    prog.pairs.push_back(InstrPair{halt(), nop()});
-    (void)prog.decoded();
-    prog.pairs[0].a.imm = 9; // same storage: fingerprint unchanged
-    prog.invalidateDecodeCache();
+    prog.mutablePairs().push_back(InstrPair{rri(Op::Addi, 1, 0, 7), nop()});
+    prog.mutablePairs().push_back(InstrPair{halt(), nop()});
+
+    const DecodedProgram *first = &prog.decoded();
+    EXPECT_EQ(first->pairs()[0].a.imm, 7);
+    EXPECT_EQ(&prog.decoded(), first) << "no mutation: cache must hold";
+
+    // First execution, then patch the immediate in place.
+    {
+        PpSim sim;
+        RegFile regs{};
+        FlatPpMemory mem;
+        std::vector<SentMessage> sent;
+        RunStats stats;
+        sim.run(prog, regs, mem, sent, stats);
+        EXPECT_EQ(regs[1], 7u);
+    }
+    {
+        std::vector<InstrPair> &pairs = prog.mutablePairs();
+        ASSERT_EQ(pairs[0].a.imm, 7);
+        pairs[0].a.imm = 9; // same storage, same size: only the version
+                            // fingerprint can catch this
+    }
+
+    EXPECT_FALSE(first->matches(prog))
+        << "stale decode must not match after an in-place mutation";
     EXPECT_EQ(prog.decoded().pairs()[0].a.imm, 9);
+
+    PpSim sim;
+    RegFile regs{};
+    FlatPpMemory mem;
+    std::vector<SentMessage> sent;
+    RunStats stats;
+    sim.run(prog, regs, mem, sent, stats);
+    EXPECT_EQ(regs[1], 9u) << "run() must execute the patched code";
+}
+
+TEST(PpDecode, ExplicitInvalidateStillForcesRebuild)
+{
+    // invalidateDecodeCache() remains for emphasis at call sites;
+    // dropping the cache must rebuild (not crash) on next use.
+    Program prog;
+    prog.name = "inval";
+    prog.mutablePairs().push_back(InstrPair{rri(Op::Addi, 1, 0, 3), nop()});
+    prog.mutablePairs().push_back(InstrPair{halt(), nop()});
+    const DecodedProgram *first = &prog.decoded();
+    EXPECT_TRUE(first->matches(prog));
+    prog.invalidateDecodeCache();
+    EXPECT_EQ(prog.decoded().pairs()[0].a.imm, 3);
 }
 
 } // namespace
