@@ -1,6 +1,8 @@
 #include "machine/machine.hh"
 
 #include <algorithm>
+#include <barrier>
+#include <thread>
 
 #include "sim/logging.hh"
 
@@ -24,21 +26,72 @@ Machine::Machine(const MachineConfig &cfg)
     if (cfg_.pageBytes != 0 &&
         (cfg_.pageBytes & (cfg_.pageBytes - 1)) == 0)
         pageShift_ = cfg_.magic.pageShift;
-    net_ = std::make_unique<network::MeshNetwork>(eq_, cfg_.numProcs,
-                                                  cfg_.net);
+
+    // The conservative lookahead is the minimum inter-node transit: a
+    // message sent in one window cannot arrive before the next. A
+    // degenerate zero-latency network leaves no safe window, so such a
+    // configuration falls back to one shard.
+    shards_ = resolveShards(cfg_.shards, cfg_.numProcs);
+    lookahead_ = network::MeshNetwork::minTransitFor(cfg_.numProcs,
+                                                     cfg_.net);
+    if (lookahead_ == 0 && shards_ > 1) {
+        warn("Machine: zero minimum mesh transit leaves no PDES "
+             "lookahead; running single-threaded");
+        shards_ = 1;
+    }
+    cfg_.shards = shards_;
+
+    shardOf_.resize(static_cast<std::size_t>(cfg_.numProcs));
+    for (int i = 0; i < cfg_.numProcs; ++i)
+        shardOf_[static_cast<std::size_t>(i)] =
+            shardOfNode(i, cfg_.numProcs, shards_);
+    std::vector<EventQueue *> eqp;
+    for (int s = 0; s < shards_; ++s) {
+        eqs_.push_back(std::make_unique<EventQueue>());
+        eqp.push_back(eqs_.back().get());
+    }
+    arb_.init(eqp, cfg_.numProcs);
+
+    net_ = std::make_unique<network::MeshNetwork>(eqp, shardOf_,
+                                                  cfg_.numProcs, cfg_.net);
     nodes_.reserve(static_cast<std::size_t>(cfg_.numProcs));
     for (int i = 0; i < cfg_.numProcs; ++i) {
         nodes_.push_back(std::make_unique<Node>(
-            eq_, static_cast<NodeId>(i), cfg_, *this, programs_.get(), *net_));
+            *eqs_[static_cast<std::size_t>(
+                shardOf_[static_cast<std::size_t>(i)])],
+            static_cast<NodeId>(i), cfg_, *this, programs_.get(), *net_));
     }
 
-    // A machine runs wholly on one thread (sweep workers included), so
-    // the thread-local log context is safe to point at this machine.
-    setLogTickSource([this] { return eq_.now(); });
+    // Route every shared host-state access in the tango sync
+    // primitives through the arbiter's canonical per-tick sync phase —
+    // in single-shard runs too, so lock/barrier resolution order is
+    // identical across shard counts (see sim/shard.hh).
+    for (int i = 0; i < cfg_.numProcs; ++i) {
+        tango::Env &env = nodes_[static_cast<std::size_t>(i)]->env();
+        const int s = shardOf_[static_cast<std::size_t>(i)];
+        const NodeId n = static_cast<NodeId>(i);
+        env.syncParker = [this, s, n](Tick t, std::coroutine_handle<> h) {
+            arb_.park(s, t, n, h);
+        };
+        env.syncInlineOk = [this](Tick t) { return arb_.inlineOk(t); };
+    }
+
+    // The machine's construction thread owns shard 0; worker threads
+    // (sharded runs) install their own thread-local log context.
+    setLogTickSource([this] { return eqs_[0]->now(); });
 
     if (cfg_.magic.verify.any()) {
         sentinel_ = std::make_unique<verify::Sentinel>(
-            eq_, cfg_.magic.verify, cfg_.numProcs);
+            *eqs_[0], cfg_.magic.verify, cfg_.numProcs);
+        sentinel_->setWindowed(shards_ > 1);
+        std::vector<const EventQueue *> nodeEqs;
+        nodeEqs.reserve(static_cast<std::size_t>(cfg_.numProcs));
+        for (int i = 0; i < cfg_.numProcs; ++i)
+            nodeEqs.push_back(
+                eqs_[static_cast<std::size_t>(
+                         shardOf_[static_cast<std::size_t>(i)])]
+                    .get());
+        sentinel_->setNodeQueues(std::move(nodeEqs));
 
         verify::CoherenceOracle::Wiring w;
         w.numNodes = cfg_.numProcs;
@@ -63,8 +116,11 @@ Machine::Machine(const MachineConfig &cfg)
             n->magic().attachSentinel(sentinel_.get());
         if (sentinel_->injector().enabled() &&
             cfg_.magic.verify.fault.meshJitter > 0) {
-            net_->setPerturb([this](const protocol::Message &) {
-                return sentinel_->injector().meshJitter();
+            // Jitter draws come from the sending node's stream: send
+            // order per node is shard-invariant, so the same seed
+            // perturbs the same messages at any shard count.
+            net_->setPerturb([this](const protocol::Message &m) {
+                return sentinel_->injector().meshJitter(m.src);
             });
         }
     }
@@ -205,6 +261,113 @@ Machine::pageHeat() const
     return heat;
 }
 
+void
+Machine::runShardWindow(int s, Tick wend)
+{
+    EventQueue &eq = *eqs_[static_cast<std::size_t>(s)];
+    while (true) {
+        const Tick tq = eq.nextTick();
+        const Tick u = std::min(tq, arb_.minPending(s));
+        if (u >= wend)
+            break;
+        // Publish before executing tick u: shards rendezvousing at an
+        // earlier tick may proceed, while anyone waiting on tick u
+        // itself must keep waiting — we might still park there.
+        arb_.publishClock(s, u);
+        if (tq == u)
+            eq.drainTick(u);
+        if (arb_.minPending(s) == u)
+            arb_.syncPhase(s, u);
+    }
+    arb_.publishClock(s, wend);
+}
+
+Tick
+Machine::earliestWork() const
+{
+    Tick t = EventQueue::kNever;
+    for (int s = 0; s < shards_; ++s) {
+        t = std::min(t, eqs_[static_cast<std::size_t>(s)]->nextTick());
+        t = std::min(t, arb_.minPending(s));
+    }
+    return t;
+}
+
+void
+Machine::runSingle(const std::function<bool()> &all_done)
+{
+    // The single-shard loop advances tick by tick with the same
+    // canonical intra-tick structure as a sharded window (network-lane
+    // deliveries, normal events, then the sync phase), which is what
+    // makes the two modes bit-identical.
+    EventQueue &eq = *eqs_[0];
+    while (!all_done()) {
+        const Tick tq = eq.nextTick();
+        const Tick u = std::min(tq, arb_.minPending(0));
+        if (u == EventQueue::kNever)
+            fatal("Machine::run: deadlock — event queue empty with %d "
+                  "processors unfinished",
+                  cfg_.numProcs);
+        if (tq == u)
+            eq.drainTick(u);
+        if (arb_.minPending(0) == u)
+            arb_.syncPhase(0, u);
+    }
+}
+
+void
+Machine::runSharded(const std::function<bool()> &all_done)
+{
+    std::atomic<bool> done{false};
+    std::atomic<Tick> windowEnd{0};
+    std::barrier<> gate(shards_);
+
+    auto worker = [this, &done, &windowEnd, &gate](int s) {
+        setLogTickSource(
+            [this, s] { return eqs_[static_cast<std::size_t>(s)]->now(); });
+        while (true) {
+            gate.arrive_and_wait(); // window start
+            if (done.load(std::memory_order_acquire))
+                break;
+            runShardWindow(s, windowEnd.load(std::memory_order_acquire));
+            gate.arrive_and_wait(); // window end
+        }
+        setLogTickSource({});
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(shards_ - 1));
+    for (int s = 1; s < shards_; ++s)
+        threads.emplace_back(worker, s);
+
+    // Main thread: shard 0 plus the between-window coordinator. Both
+    // barriers give full happens-before between every shard each
+    // window, so the coordinator (and the sentinel flush) sees all
+    // shards' window-complete state, and each new window sees the
+    // merged cross-shard messages.
+    while (true) {
+        const Tick T = earliestWork();
+        if (all_done()) {
+            done.store(true, std::memory_order_release);
+            gate.arrive_and_wait();
+            break;
+        }
+        if (T == EventQueue::kNever)
+            fatal("Machine::run: deadlock — event queue empty with %d "
+                  "processors unfinished",
+                  cfg_.numProcs);
+        windowEnd.store(T + lookahead_, std::memory_order_release);
+        gate.arrive_and_wait(); // window start
+        runShardWindow(0, T + lookahead_);
+        gate.arrive_and_wait(); // window end
+        net_->exchangeWindows();
+        if (sentinel_)
+            sentinel_->flushWindow();
+    }
+    for (std::thread &t : threads)
+        t.join();
+}
+
 Tick
 Machine::run(const Workload &workload)
 {
@@ -213,7 +376,7 @@ Machine::run(const Workload &workload)
 
     // finished() is monotone, so it suffices to watch one unfinished
     // processor at a time: the scan resumes where it left off instead
-    // of walking every node on every event step.
+    // of walking every node on every step.
     std::size_t watch = 0;
     auto all_done = [this, &watch] {
         while (watch < nodes_.size() && nodes_[watch]->proc().finished())
@@ -221,12 +384,10 @@ Machine::run(const Workload &workload)
         return watch == nodes_.size();
     };
 
-    while (!all_done()) {
-        if (!eq_.step())
-            fatal("Machine::run: deadlock — event queue empty with %d "
-                  "processors unfinished",
-                  cfg_.numProcs);
-    }
+    if (shards_ == 1)
+        runSingle(all_done);
+    else
+        runSharded(all_done);
 
     execTime_ = 0;
     for (auto &n : nodes_)
@@ -237,7 +398,24 @@ Machine::run(const Workload &workload)
 void
 Machine::drain()
 {
-    eq_.run();
+    if (shards_ == 1) {
+        eqs_[0]->run();
+    } else {
+        // Drain the tail windowed but on one thread: the workloads
+        // have finished, so no sync phases can arise (nothing parks),
+        // and running the shards' windows back-to-back preserves the
+        // canonical order exactly as the threaded loop would.
+        while (true) {
+            const Tick T = earliestWork();
+            if (T == EventQueue::kNever)
+                break;
+            for (int s = 0; s < shards_; ++s)
+                runShardWindow(s, T + lookahead_);
+            net_->exchangeWindows();
+            if (sentinel_)
+                sentinel_->flushWindow();
+        }
+    }
     // The machine is quiesced: every in-flight message has landed, so
     // the oracle can hold it to the strict (no transient windows)
     // whole-machine invariants.

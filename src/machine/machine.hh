@@ -19,6 +19,7 @@
 #include "protocol/pp_programs.hh"
 #include "sim/event_queue.hh"
 #include "sim/flat_table.hh"
+#include "sim/shard.hh"
 #include "tango/runtime.hh"
 #include "tango/task.hh"
 #include "verify/sentinel.hh"
@@ -65,7 +66,10 @@ class Machine : public protocol::AddressMap
 
     // -- Execution ------------------------------------------------------------
     /**
-     * Run @p workload on every processor to completion.
+     * Run @p workload on every processor to completion. With
+     * cfg.shards > 1 the run executes across that many worker threads
+     * as conservative time-window PDES (see sim/shard.hh); results are
+     * bit-identical to the single-threaded run for the same seed.
      * @return machine execution time in cycles (max processor finish).
      */
     Tick run(const Workload &workload);
@@ -74,7 +78,12 @@ class Machine : public protocol::AddressMap
     void drain();
 
     // -- Access ----------------------------------------------------------------
-    EventQueue &eq() { return eq_; }
+    /** Shard 0's event queue (the only one when shards() == 1). */
+    EventQueue &eq() { return *eqs_[0]; }
+    /** Resolved shard count (cfg.shards clamped to the machine/host). */
+    int shards() const { return shards_; }
+    /** The conservative window width: minimum inter-node transit. */
+    Tick lookahead() const { return lookahead_; }
     int numProcs() const { return cfg_.numProcs; }
     Node &node(int i) { return *nodes_[static_cast<std::size_t>(i)]; }
     const Node &node(int i) const
@@ -92,8 +101,24 @@ class Machine : public protocol::AddressMap
     const verify::Sentinel *sentinel() const { return sentinel_.get(); }
 
   private:
+    /** Drive shard @p s from its current time up to @p wend: drain
+     *  event ticks and run sync phases in canonical order, then
+     *  publish that the whole window is complete. */
+    void runShardWindow(int s, Tick wend);
+    /** Earliest pending work (event or sync op) machine-wide; only
+     *  meaningful when every shard is quiescent. */
+    Tick earliestWork() const;
+    void runSingle(const std::function<bool()> &all_done);
+    void runSharded(const std::function<bool()> &all_done);
+
     MachineConfig cfg_;
-    EventQueue eq_;
+    int shards_ = 1;
+    Tick lookahead_ = 0;
+    /** One event queue per shard; queue 0 doubles as the machine's
+     *  "main" queue (sentinel, logging, drain tail). */
+    std::vector<std::unique_ptr<EventQueue>> eqs_;
+    std::vector<int> shardOf_;
+    SyncArbiter arb_;
     /** Shared, immutable, pre-decoded program set (process-wide cache:
      *  see protocol::sharedHandlerPrograms). */
     std::shared_ptr<const protocol::HandlerPrograms> programs_;

@@ -70,7 +70,7 @@ Magic::inboundArrival(Cycles base, Tick &last)
 {
     Tick t = eq_.now() + base;
     if (sentinel_ && sentinel_->injector().enabled()) {
-        t += sentinel_->injector().inboundStall();
+        t += sentinel_->injector().inboundStall(self_);
         // Queue-full backpressure must not reorder the queue: clamp to
         // the latest stalled arrival (same-tick ties keep FIFO order).
         t = std::max(t, last);
@@ -149,7 +149,7 @@ Magic::enqueue(std::deque<Pending> &q, const Message &msg)
     if (sentinel_ && sentinel_->injector().enabled() &&
         (msg.type == MsgType::PiReplaceHint ||
          msg.type == MsgType::NetReplaceHint)) {
-        switch (sentinel_->injector().hintFate()) {
+        switch (sentinel_->injector().hintFate(self_)) {
           case verify::FaultInjector::HintFate::Drop:
             sentinel_->recordInjected(self_, eq_.now(), msg,
                                       verify::TraceEntry::Kind::DroppedHint);
@@ -226,7 +226,7 @@ Magic::runHandler(const Pending &pending)
     if (sentinel_ && at_home && sentinel_->injector().enabled() &&
         (msg.type == MsgType::PiGet || msg.type == MsgType::PiGetx ||
          msg.type == MsgType::NetGet || msg.type == MsgType::NetGetx) &&
-        sentinel_->injector().rollNack()) {
+        sentinel_->injector().rollNack(self_)) {
         injectedNack(pending, pending.specIssued);
         setLogNode(kInvalidNode);
         return;

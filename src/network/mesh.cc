@@ -1,5 +1,6 @@
 #include "network/mesh.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
 
@@ -9,27 +10,29 @@ namespace flashsim::network
 {
 
 MeshNetwork::MeshNetwork(EventQueue &eq, int num_nodes, MeshParams params)
-    : eq_(eq), numNodes_(num_nodes), params_(params),
-      deliver_(static_cast<std::size_t>(num_nodes))
+    : MeshNetwork(std::vector<EventQueue *>{&eq},
+                  std::vector<int>(static_cast<std::size_t>(num_nodes), 0),
+                  num_nodes, params)
+{}
+
+MeshNetwork::MeshNetwork(const std::vector<EventQueue *> &eqs,
+                         std::vector<int> shard_of, int num_nodes,
+                         MeshParams params)
+    : numNodes_(num_nodes), params_(params),
+      deliver_(static_cast<std::size_t>(num_nodes)),
+      shardOf_(std::move(shard_of)),
+      srcSeq_(static_cast<std::size_t>(num_nodes), 0)
 {
     side_ = 1;
     while (side_ * side_ < num_nodes)
         ++side_;
+    avgTransit_ = avgTransitFor(num_nodes, params_);
 
-    // Average internal hop count for uniform traffic on a side x side
-    // mesh: the mean |dx| on a line of n nodes is (n^2 - 1) / (3n), the
-    // Manhattan distance doubles it, and excluding the self-pairs
-    // scales by N/(N-1). That gives the paper's 2.6 average hops for 16
-    // nodes; with one hop to enter and one to exit at 4 cycles each
-    // plus 3 header cycles the average transit is 22 cycles.
-    double n_nodes = static_cast<double>(side_) * side_;
-    double mean_axis =
-        (static_cast<double>(side_) * side_ - 1.0) / (3.0 * side_);
-    double internal = 2.0 * mean_axis *
-                      (n_nodes > 1 ? n_nodes / (n_nodes - 1.0) : 1.0);
-    double hops = internal + 2.0;
-    avgTransit_ = static_cast<Cycles>(
-        std::lround(params_.perHop * hops + params_.header));
+    eps_.resize(eqs.size());
+    for (std::size_t s = 0; s < eqs.size(); ++s) {
+        eps_[s].eq = eqs[s];
+        eps_[s].outbox.resize(eqs.size());
+    }
 }
 
 void
@@ -60,6 +63,47 @@ MeshNetwork::transit(NodeId src, NodeId dest) const
     return params_.perHop * static_cast<Cycles>(hops) + params_.header;
 }
 
+Cycles
+MeshNetwork::minTransit() const
+{
+    return minTransitFor(numNodes_, params_);
+}
+
+Cycles
+MeshNetwork::avgTransitFor(int num_nodes, MeshParams params)
+{
+    int side = 1;
+    while (side * side < num_nodes)
+        ++side;
+
+    // Average internal hop count for uniform traffic on a side x side
+    // mesh: the mean |dx| on a line of n nodes is (n^2 - 1) / (3n), the
+    // Manhattan distance doubles it, and excluding the self-pairs
+    // scales by N/(N-1). That gives the paper's 2.6 average hops for 16
+    // nodes; with one hop to enter and one to exit at 4 cycles each
+    // plus 3 header cycles the average transit is 22 cycles.
+    double n_nodes = static_cast<double>(side) * side;
+    double mean_axis =
+        (static_cast<double>(side) * side - 1.0) / (3.0 * side);
+    double internal = 2.0 * mean_axis *
+                      (n_nodes > 1 ? n_nodes / (n_nodes - 1.0) : 1.0);
+    double hops = internal + 2.0;
+    return static_cast<Cycles>(
+        std::lround(params.perHop * hops + params.header));
+}
+
+Cycles
+MeshNetwork::minTransitFor(int num_nodes, MeshParams params)
+{
+    // Minimum over *distinct* pairs: adjacent nodes pay 1 internal hop
+    // plus entry and exit in the distance-based mode, the flat average
+    // otherwise. Self-sends are excluded — a node shares a shard with
+    // itself by construction, so they never cross a window boundary.
+    if (!params.distanceBased)
+        return avgTransitFor(num_nodes, params);
+    return params.perHop * 3 + params.header;
+}
+
 void
 MeshNetwork::setPerturb(std::function<Cycles(const protocol::Message &)> p)
 {
@@ -74,33 +118,118 @@ MeshNetwork::setPerturb(std::function<Cycles(const protocol::Message &)> p)
                              0);
 }
 
-std::uint32_t
-MeshNetwork::allocSlot()
+Counter
+MeshNetwork::messages() const
 {
-    if (!freeSlots_.empty()) {
-        std::uint32_t s = freeSlots_.back();
-        freeSlots_.pop_back();
+    Counter n = 0;
+    for (const Endpoint &ep : eps_)
+        n += ep.messages;
+    return n;
+}
+
+Counter
+MeshNetwork::dataMessages() const
+{
+    Counter n = 0;
+    for (const Endpoint &ep : eps_)
+        n += ep.dataMessages;
+    return n;
+}
+
+std::uint32_t
+MeshNetwork::inFlight() const
+{
+    std::uint32_t n = 0;
+    for (const Endpoint &ep : eps_)
+        n += ep.inFlight;
+    return n;
+}
+
+std::uint32_t
+MeshNetwork::slabCapacity() const
+{
+    std::uint32_t n = 0;
+    for (const Endpoint &ep : eps_)
+        n += static_cast<std::uint32_t>(ep.slab.size()) * kSlabChunk;
+    return n;
+}
+
+std::uint32_t
+MeshNetwork::allocSlot(Endpoint &ep)
+{
+    if (!ep.freeSlots.empty()) {
+        std::uint32_t s = ep.freeSlots.back();
+        ep.freeSlots.pop_back();
         return s;
     }
-    std::uint32_t s = static_cast<std::uint32_t>(slab_.size()) * kSlabChunk;
-    slab_.push_back(std::make_unique<protocol::Message[]>(kSlabChunk));
-    freeSlots_.reserve(slab_.size() * kSlabChunk);
+    std::uint32_t s =
+        static_cast<std::uint32_t>(ep.slab.size()) * kSlabChunk;
+    ep.slab.push_back(std::make_unique<protocol::Message[]>(kSlabChunk));
+    ep.freeSlots.reserve(ep.slab.size() * kSlabChunk);
     for (std::uint32_t i = kSlabChunk - 1; i > 0; --i)
-        freeSlots_.push_back(s + i);
+        ep.freeSlots.push_back(s + i);
     return s;
 }
 
 void
-MeshNetwork::deliverSlot(std::uint32_t s)
+MeshNetwork::deliverSlot(std::uint32_t epIdx, std::uint32_t s)
 {
     // The slot is released only after the delivery callback returns:
     // chunk storage is stable, so the reference survives nested sends
     // that grow the slab, and the slot cannot be recycled underneath
     // the receiver.
-    const protocol::Message &m = slot(s);
+    Endpoint &ep = eps_[epIdx];
+    const protocol::Message &m = slot(ep, s);
     deliver_[m.dest](m);
-    freeSlots_.push_back(s);
-    --inFlight_;
+    ep.freeSlots.push_back(s);
+    --ep.inFlight;
+}
+
+void
+MeshNetwork::inject(const protocol::Message &msg, Tick when)
+{
+    // Both the slot and the delivery event live on the destination
+    // shard: the delivering thread frees the slot, so the slab must be
+    // the one that thread owns. A local send's source and destination
+    // shards coincide; a cross-shard message reaches the destination
+    // only at a window edge, when every shard is quiescent.
+    const std::uint32_t dst =
+        static_cast<std::uint32_t>(shardOf_[msg.dest]);
+    const std::uint32_t here =
+        static_cast<std::uint32_t>(shardOf_[msg.src]);
+    const std::uint64_t seq = srcSeq_[msg.src]++;
+    if (dst == here) {
+        Endpoint &ep = eps_[dst];
+        std::uint32_t s = allocSlot(ep);
+        slot(ep, s) = msg;
+        ++ep.inFlight;
+        ep.eq->scheduleNet(when, msg.src, seq,
+                           [this, dst, s] { deliverSlot(dst, s); });
+    } else {
+        eps_[here].outbox[dst].push_back(Staged{when, msg.src, seq, msg});
+    }
+}
+
+void
+MeshNetwork::exchangeWindows()
+{
+    for (Endpoint &src : eps_) {
+        for (std::size_t dst = 0; dst < eps_.size(); ++dst) {
+            std::vector<Staged> &box = src.outbox[dst];
+            if (box.empty())
+                continue;
+            Endpoint &ep = eps_[dst];
+            for (const Staged &st : box) {
+                std::uint32_t s = allocSlot(ep);
+                slot(ep, s) = st.msg;
+                ++ep.inFlight;
+                const std::uint32_t d = static_cast<std::uint32_t>(dst);
+                ep.eq->scheduleNet(st.when, st.src, st.seq,
+                                   [this, d, s] { deliverSlot(d, s); });
+            }
+            box.clear();
+        }
+    }
 }
 
 void
@@ -108,11 +237,12 @@ MeshNetwork::send(const protocol::Message &msg)
 {
     if (msg.dest >= deliver_.size() || !deliver_[msg.dest])
         panic("MeshNetwork: no receiver for %s", msg.toString().c_str());
-    ++messages;
+    Endpoint &src = eps_[static_cast<std::size_t>(shardOf_[msg.src])];
+    ++src.messages;
     if (protocol::carriesData(msg.type))
-        ++dataMessages;
+        ++src.dataMessages;
     Cycles lat = transit(msg.src, msg.dest);
-    Tick when = eq_.now() + lat;
+    Tick when = src.eq->now() + lat;
     if (perturb_) {
         when += perturb_(msg);
         // Clamp per (src, dest) pair: jitter must never reorder the
@@ -123,31 +253,25 @@ MeshNetwork::send(const protocol::Message &msg)
         when = std::max(when, last);
         last = when;
     }
-    std::uint32_t s = allocSlot();
-    slot(s) = msg;
-    ++inFlight_;
-    eq_.scheduleAt(when, [this, s] { deliverSlot(s); });
+    inject(msg, when);
 }
 
 void
 MeshNetwork::sendAt(const protocol::Message &msg, Tick departure)
 {
+    Endpoint &src = eps_[static_cast<std::size_t>(shardOf_[msg.src])];
     if (perturb_) {
         // The jitter clamp requires sends to be observed in departure
         // order; re-create the intermediate event the fast path elides.
-        eq_.scheduleAt(departure, [this, msg] { send(msg); });
+        src.eq->scheduleAt(departure, [this, msg] { send(msg); });
         return;
     }
     if (msg.dest >= deliver_.size() || !deliver_[msg.dest])
         panic("MeshNetwork: no receiver for %s", msg.toString().c_str());
-    ++messages;
+    ++src.messages;
     if (protocol::carriesData(msg.type))
-        ++dataMessages;
-    std::uint32_t s = allocSlot();
-    slot(s) = msg;
-    ++inFlight_;
-    eq_.scheduleAt(departure + transit(msg.src, msg.dest),
-                   [this, s] { deliverSlot(s); });
+        ++src.dataMessages;
+    inject(msg, departure + transit(msg.src, msg.dest));
 }
 
 } // namespace flashsim::network

@@ -12,6 +12,18 @@
  * Optionally the model charges actual per-pair Manhattan distances
  * instead of the average (distanceBased), which the paper's simulator
  * did not do; the default matches the paper.
+ *
+ * Sharded runs (sim/shard.hh): the network is split into one endpoint
+ * per shard. A send whose destination lives on the same shard schedules
+ * its delivery directly on that shard's queue; a cross-shard send is
+ * staged in a per-destination outbox and merged at the next window edge
+ * by exchangeWindows(). Every delivery — local or staged — carries a
+ * canonical (source node, per-source sequence) key and travels in the
+ * EventQueue's network lane, so the delivery interleave at a tick is
+ * identical whether or not a message crossed a shard boundary, and
+ * identical to the single-threaded run. The minimum inter-node transit
+ * (minTransit) is the conservative window lookahead: a message sent
+ * inside a window cannot arrive before the next one.
  */
 
 #ifndef FLASHSIM_NETWORK_MESH_HH_
@@ -42,7 +54,17 @@ class MeshNetwork
   public:
     using Deliver = std::function<void(const protocol::Message &)>;
 
+    /** Single-shard network: every node on one queue. */
     MeshNetwork(EventQueue &eq, int num_nodes, MeshParams params = {});
+
+    /**
+     * Sharded network: @p eqs holds one queue per shard and
+     * @p shard_of maps each node to its shard. Cross-shard sends stage
+     * until exchangeWindows().
+     */
+    MeshNetwork(const std::vector<EventQueue *> &eqs,
+                std::vector<int> shard_of, int num_nodes,
+                MeshParams params = {});
 
     /** Register node @p n's delivery callback (its NI inbound). */
     void connect(NodeId n, Deliver deliver);
@@ -61,6 +83,13 @@ class MeshNetwork
      */
     void sendAt(const protocol::Message &msg, Tick departure);
 
+    /**
+     * Merge every staged cross-shard message into its destination
+     * shard's queue (network lane, canonical key). Call only at a
+     * window edge, with all shards quiescent.
+     */
+    void exchangeWindows();
+
     /** Average transit latency in cycles (22 for 16 nodes). */
     Cycles avgTransit() const { return avgTransit_; }
 
@@ -68,6 +97,17 @@ class MeshNetwork
      *  enter the mesh and pay only entry/exit + header, in both
      *  modes. */
     Cycles transit(NodeId src, NodeId dest) const;
+
+    /** Minimum transit between two *distinct* nodes: the conservative
+     *  lookahead bounding a sharded run's time windows. */
+    Cycles minTransit() const;
+
+    /** minTransit() for a hypothetical network (lets the machine pick
+     *  a shard count before constructing one). */
+    static Cycles minTransitFor(int num_nodes, MeshParams params);
+
+    /** avgTransit() for a hypothetical network. */
+    static Cycles avgTransitFor(int num_nodes, MeshParams params);
 
     /** Mesh side length (smallest square covering num_nodes). */
     int side() const { return side_; }
@@ -82,16 +122,15 @@ class MeshNetwork
      */
     void setPerturb(std::function<Cycles(const protocol::Message &)> p);
 
-    Counter messages = 0;
-    Counter dataMessages = 0;
+    /** Total messages injected (all endpoints). */
+    Counter messages() const;
+    /** Data-carrying messages injected (all endpoints). */
+    Counter dataMessages() const;
 
     /** In-flight slab slots currently occupied (tests/diagnostics). */
-    std::uint32_t inFlight() const { return inFlight_; }
+    std::uint32_t inFlight() const;
     /** Total slab capacity allocated so far (tests/diagnostics). */
-    std::uint32_t slabCapacity() const
-    {
-        return static_cast<std::uint32_t>(slab_.size()) * kSlabChunk;
-    }
+    std::uint32_t slabCapacity() const;
 
   private:
     /** Messages per slab chunk; chunk storage never moves, so a
@@ -99,30 +138,56 @@ class MeshNetwork
     static constexpr std::uint32_t kSlabChunk = 128;
     using SlabChunk = std::unique_ptr<protocol::Message[]>;
 
-    std::uint32_t allocSlot();
-    void deliverSlot(std::uint32_t slot);
-    protocol::Message &
-    slot(std::uint32_t s)
+    /** A cross-shard message parked until the next window edge. */
+    struct Staged
     {
-        return slab_[s / kSlabChunk][s % kSlabChunk];
-    }
+        Tick when;
+        NodeId src;
+        std::uint64_t seq;
+        protocol::Message msg;
+    };
 
-    EventQueue &eq_;
+    /**
+     * One shard's view of the network: its own in-flight slab and
+     * counters (written only from that shard's thread during a window)
+     * plus per-destination-shard outboxes for staged messages.
+     */
+    struct Endpoint
+    {
+        EventQueue *eq = nullptr;
+        std::vector<SlabChunk> slab;
+        std::vector<std::uint32_t> freeSlots;
+        std::uint32_t inFlight = 0;
+        Counter messages = 0;
+        Counter dataMessages = 0;
+        std::vector<std::vector<Staged>> outbox;
+    };
+
+    std::uint32_t allocSlot(Endpoint &ep);
+    void deliverSlot(std::uint32_t epIdx, std::uint32_t slot);
+    protocol::Message &
+    slot(Endpoint &ep, std::uint32_t s)
+    {
+        return ep.slab[s / kSlabChunk][s % kSlabChunk];
+    }
+    void inject(const protocol::Message &msg, Tick when);
+
     int numNodes_;
     int side_;
     MeshParams params_;
     Cycles avgTransit_;
     std::vector<Deliver> deliver_;
     std::function<Cycles(const protocol::Message &)> perturb_;
-    /** Last scheduled delivery per (src, dest), perturbed mode only. */
+    /** Last scheduled delivery per (src, dest), perturbed mode only.
+     *  Each row is written only by the source node's shard. */
     std::vector<Tick> lastDelivery_;
 
-    /** Pooled in-flight message slab: sends park the message in a
-     *  freelist-recycled slot and the delivery callback captures only
-     *  the 4-byte slot index (no Message copy in the event core). */
-    std::vector<SlabChunk> slab_;
-    std::vector<std::uint32_t> freeSlots_;
-    std::uint32_t inFlight_ = 0;
+    std::vector<Endpoint> eps_;
+    /** Node -> shard (all zero in the single-shard constructor). */
+    std::vector<int> shardOf_;
+    /** Per-source monotonic send sequence: the canonical network-lane
+     *  key (written only by the source node's shard). */
+    std::vector<std::uint64_t> srcSeq_;
 };
 
 } // namespace flashsim::network

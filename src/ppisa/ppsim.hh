@@ -75,8 +75,11 @@ class Program
      * program is reloaded: the cache fingerprints the pairs storage
      * (data pointer + size) plus the mutation version bumped by every
      * mutablePairs() call, so reassignment and in-place mutation both
-     * invalidate it. Lazy build is not thread-safe; machines own their
-     * programs, so cross-thread sharing does not occur in-tree.
+     * invalidate it. Lazy build is not thread-safe: any program shared
+     * across threads — the process-wide handler set read by sweep
+     * workers and by the shards of a sharded run (sim/shard.hh) — must
+     * be pre-decoded before publication (protocol/pp_programs.cc
+     * does), after which concurrent decoded() calls are pure reads.
      */
     const DecodedProgram &decoded() const;
 

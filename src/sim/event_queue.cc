@@ -24,6 +24,20 @@ EventQueue::clearLive(Tick when)
 }
 
 void
+EventQueue::netMarkLive(Tick when)
+{
+    const std::size_t idx = when & kRingMask;
+    netLive_[idx >> 6] |= std::uint64_t{1} << (idx & 63);
+}
+
+void
+EventQueue::netClearLive(Tick when)
+{
+    const std::size_t idx = when & kRingMask;
+    netLive_[idx >> 6] &= ~(std::uint64_t{1} << (idx & 63));
+}
+
+void
 EventQueue::scheduleAt(Tick when, Callback cb)
 {
     if (when < _now)
@@ -39,6 +53,53 @@ EventQueue::scheduleAt(Tick when, Callback cb)
     } else {
         overflow_.push_back(Event{when, nextSeq_++, std::move(cb)});
         std::push_heap(overflow_.begin(), overflow_.end(), Later{});
+    }
+}
+
+void
+EventQueue::insertNet(NetEvent e)
+{
+    const Tick when = e.when;
+    NetBucket &b = netRing_[when & kRingMask];
+    if (b.head != 0 && b.head == b.events.size()) {
+        b.events.clear();
+        b.head = 0;
+    }
+    // Keep [head, end) sorted by (src, seq); buckets are small, so a
+    // binary search + vector insert beats a deferred sort.
+    auto pos = std::upper_bound(
+        b.events.begin() + static_cast<std::ptrdiff_t>(b.head),
+        b.events.end(), e, [](const NetEvent &x, const NetEvent &y) {
+            if (x.src != y.src)
+                return x.src < y.src;
+            return x.seq < y.seq;
+        });
+    b.events.insert(pos, std::move(e));
+    netMarkLive(when);
+    ++netCount_;
+}
+
+void
+EventQueue::scheduleNet(Tick when, NodeId src, std::uint64_t srcSeq,
+                        Callback cb)
+{
+    if (when < _now)
+        panic("net event scheduled in the past (%llu < %llu)",
+              static_cast<unsigned long long>(when),
+              static_cast<unsigned long long>(_now));
+    if (when == _now) {
+        // Degenerate zero-latency transit: the current tick's network
+        // lane may already have run, so the delivery joins the normal
+        // lane (the same deterministic rule in every mode).
+        scheduleAt(when, std::move(cb));
+        return;
+    }
+    if (when - _now < kRingSize)
+        insertNet(NetEvent{when, src, srcSeq, std::move(cb)});
+    else {
+        netOverflow_.push_back(NetEvent{when, src, srcSeq, std::move(cb)});
+        std::push_heap(netOverflow_.begin(), netOverflow_.end(),
+                       NetLater{});
     }
 }
 
@@ -68,11 +129,38 @@ EventQueue::nextRingTick() const
 }
 
 Tick
+EventQueue::nextNetRingTick() const
+{
+    if (netCount_ == 0)
+        return kNever;
+    const std::size_t base = _now & kRingMask;
+    std::size_t w = base >> 6;
+    std::uint64_t word = netLive_[w] & (~std::uint64_t{0} << (base & 63));
+    for (std::size_t n = 0; n <= kBitWords; ++n) {
+        if (word != 0) {
+            const std::size_t idx =
+                (w << 6) +
+                static_cast<std::size_t>(std::countr_zero(word));
+            const NetBucket &b = netRing_[idx];
+            return b.events[b.head].when;
+        }
+        w = (w + 1) & (kBitWords - 1);
+        word = netLive_[w];
+    }
+    return kNever; // unreachable while netCount_ > 0
+}
+
+Tick
 EventQueue::nextTick() const
 {
     Tick t = nextRingTick();
     if (!overflow_.empty() && overflow_.front().when < t)
         t = overflow_.front().when;
+    const Tick nt = nextNetRingTick();
+    if (nt < t)
+        t = nt;
+    if (!netOverflow_.empty() && netOverflow_.front().when < t)
+        t = netOverflow_.front().when;
     return t;
 }
 
@@ -105,6 +193,19 @@ EventQueue::promoteOverflow(Tick t)
     markLive(t);
 }
 
+void
+EventQueue::promoteNetOverflow(Tick t)
+{
+    // Sorted insertion by key, so unlike the normal lane no rotate
+    // fix-up is needed: the (src, seq) order is position-independent.
+    while (!netOverflow_.empty() && netOverflow_.front().when == t) {
+        std::pop_heap(netOverflow_.begin(), netOverflow_.end(),
+                      NetLater{});
+        insertNet(std::move(netOverflow_.back()));
+        netOverflow_.pop_back();
+    }
+}
+
 bool
 EventQueue::step()
 {
@@ -113,6 +214,22 @@ EventQueue::step()
         return false;
     _now = t;
     promoteOverflow(t);
+    promoteNetOverflow(t);
+    // Network lane first: within a tick every delivery precedes every
+    // normal event (the canonical cross-shard order; see scheduleNet).
+    NetBucket &nb = netRing_[t & kRingMask];
+    if (nb.head < nb.events.size()) {
+        Callback cb = std::move(nb.events[nb.head].cb);
+        ++nb.head;
+        --netCount_;
+        if (nb.head == nb.events.size()) {
+            nb.events.clear();
+            nb.head = 0;
+            netClearLive(t);
+        }
+        cb();
+        return true;
+    }
     Bucket &b = bucketFor(t);
     // Move the callback out before invoking: the callback may schedule
     // into this same bucket and reallocate its vector.
@@ -129,20 +246,35 @@ EventQueue::step()
 }
 
 std::uint64_t
-EventQueue::run(Tick limit)
+EventQueue::drainTick(Tick t)
 {
     std::uint64_t executed = 0;
-    while (true) {
-        const Tick t = nextTick();
-        if (t == kNever || t > limit)
-            break;
-        _now = t;
-        promoteOverflow(t);
-        // Drain the whole tick from its bucket: nothing earlier can
-        // appear (zero-delay schedules append to this bucket; overflow
-        // inserts land >= kRingSize ticks out), so skip the bitmap
-        // rescan until the tick completes.
-        Bucket &b = bucketFor(t);
+    _now = t;
+    promoteOverflow(t);
+    promoteNetOverflow(t);
+    // Network lane first, in (src, seq) order. A delivery can only
+    // schedule normal events at this tick (a nested send's transit is
+    // at least one cycle, and the zero-latency fallback joins the
+    // normal lane), so this bucket never grows while draining.
+    NetBucket &nb = netRing_[t & kRingMask];
+    if (nb.head < nb.events.size()) {
+        while (nb.head < nb.events.size()) {
+            Callback cb = std::move(nb.events[nb.head].cb);
+            ++nb.head;
+            --netCount_;
+            cb();
+            ++executed;
+        }
+        nb.events.clear();
+        nb.head = 0;
+        netClearLive(t);
+    }
+    // Drain the whole tick from its bucket: nothing earlier can
+    // appear (zero-delay schedules append to this bucket; overflow
+    // inserts land >= kRingSize ticks out), so skip the bitmap
+    // rescan until the tick completes.
+    Bucket &b = bucketFor(t);
+    if (b.head < b.events.size()) {
         while (b.head < b.events.size()) {
             Callback cb = std::move(b.events[b.head].cb);
             ++b.head;
@@ -153,6 +285,19 @@ EventQueue::run(Tick limit)
         b.events.clear();
         b.head = 0;
         clearLive(t);
+    }
+    return executed;
+}
+
+std::uint64_t
+EventQueue::run(Tick limit)
+{
+    std::uint64_t executed = 0;
+    while (true) {
+        const Tick t = nextTick();
+        if (t == kNever || t > limit)
+            break;
+        executed += drainTick(t);
     }
     if (_now < limit && limit != kNever)
         _now = limit;
@@ -169,6 +314,13 @@ EventQueue::reset()
     live_.fill(0);
     ringCount_ = 0;
     overflow_.clear();
+    for (NetBucket &b : netRing_) {
+        b.events.clear();
+        b.head = 0;
+    }
+    netLive_.fill(0);
+    netCount_ = 0;
+    netOverflow_.clear();
     _now = 0;
     nextSeq_ = 0;
 }

@@ -4,8 +4,13 @@
  *
  * FlashLite (the paper's simulator) is a multi-threaded event-driven
  * memory-system simulator. Here every hardware unit schedules closures on
- * a single global-order EventQueue; ties are broken by insertion order so
- * simulation is fully deterministic.
+ * an EventQueue; ties are broken by insertion order so simulation is
+ * fully deterministic. A sharded run (see sim/shard.hh) gives each shard
+ * of nodes its own EventQueue and advances them in conservative time
+ * windows; mesh deliveries travel in a separate *network lane* ordered
+ * by a (source node, per-source sequence) key so that the same delivery
+ * order falls out whether a message stayed on its own shard or was
+ * staged across a window edge.
  */
 
 #ifndef FLASHSIM_SIM_EVENT_QUEUE_HH_
@@ -53,6 +58,10 @@ class EventQueue
     /** Ticks covered by the near-term bucket ring (power of two). */
     static constexpr std::size_t kRingSize = 1024;
 
+    /** Sentinel for "no pending event" (also used by the shard
+     *  scheduler as "no pending tick"). */
+    static constexpr Tick kNever = ~Tick{0};
+
     EventQueue() = default;
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
@@ -70,11 +79,43 @@ class EventQueue
     /** Schedule @p cb at absolute time @p when (must be >= now()). */
     void scheduleAt(Tick when, Callback cb);
 
+    /**
+     * Schedule a network-lane delivery at @p when (must be > now();
+     * a degenerate zero-latency delivery falls back to the normal
+     * lane). Within a tick every network-lane event runs before any
+     * normal event, ordered by (@p src, @p srcSeq) — a canonical key
+     * independent of which shard scheduled it, so sharded and
+     * single-threaded runs interleave deliveries identically.
+     */
+    void scheduleNet(Tick when, NodeId src, std::uint64_t srcSeq,
+                     Callback cb);
+
     /** True when no events remain. */
-    bool empty() const { return ringCount_ == 0 && overflow_.empty(); }
+    bool
+    empty() const
+    {
+        return ringCount_ == 0 && overflow_.empty() && netCount_ == 0 &&
+               netOverflow_.empty();
+    }
 
     /** Number of pending events. */
-    std::size_t pending() const { return ringCount_ + overflow_.size(); }
+    std::size_t
+    pending() const
+    {
+        return ringCount_ + overflow_.size() + netCount_ +
+               netOverflow_.size();
+    }
+
+    /** Earliest pending tick across all lanes, or kNever. */
+    Tick nextTick() const;
+
+    /**
+     * Advance to tick @p t (== nextTick()) and run everything due then:
+     * first the network lane in (src, seq) order, then normal events in
+     * FIFO order, including same-tick events they schedule.
+     * @return number of events executed.
+     */
+    std::uint64_t drainTick(Tick t);
 
     /**
      * Run events until the queue drains or @p limit ticks have elapsed.
@@ -121,15 +162,49 @@ class EventQueue
         std::size_t head = 0;
     };
 
+    /**
+     * A network-lane event: a mesh delivery keyed for canonical
+     * within-tick ordering. src/seq come from the mesh (per-source
+     * monotonic send counters), so the key is a property of the
+     * *message*, not of which queue it was scheduled on.
+     */
+    struct NetEvent
+    {
+        Tick when;
+        NodeId src;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    struct NetLater
+    {
+        bool
+        operator()(const NetEvent &a, const NetEvent &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.src != b.src)
+                return a.src > b.src;
+            return a.seq > b.seq;
+        }
+    };
+
+    /** One tick's network-lane events, kept sorted by (src, seq). */
+    struct NetBucket
+    {
+        std::vector<NetEvent> events;
+        std::size_t head = 0;
+    };
+
     static constexpr std::size_t kRingMask = kRingSize - 1;
     static constexpr std::size_t kBitWords = kRingSize / 64;
-    /** Sentinel for "no pending event". */
-    static constexpr Tick kNever = ~Tick{0};
 
     Bucket &bucketFor(Tick when) { return ring_[when & kRingMask]; }
 
     void markLive(Tick when);
     void clearLive(Tick when);
+    void netMarkLive(Tick when);
+    void netClearLive(Tick when);
 
     /** Recycle a fully executed bucket's storage before reuse. */
     static void
@@ -143,10 +218,14 @@ class EventQueue
 
     /** Earliest pending tick in the ring, or kNever. */
     Tick nextRingTick() const;
-    /** Earliest pending tick across both levels, or kNever. */
-    Tick nextTick() const;
+    /** Earliest pending network-lane tick in its ring, or kNever. */
+    Tick nextNetRingTick() const;
     /** Move overflow events for tick @p t into its bucket, seq-merged. */
     void promoteOverflow(Tick t);
+    /** Move network-lane overflow for tick @p t into its bucket. */
+    void promoteNetOverflow(Tick t);
+    /** Sorted insert of @p e into its tick's network bucket. */
+    void insertNet(NetEvent e);
 
     Tick _now = 0;
     std::uint64_t nextSeq_ = 0;
@@ -159,6 +238,13 @@ class EventQueue
     /** Overflow min-heap (std::push_heap/std::pop_heap over a vector,
      *  ordered by Later so front() is the earliest event). */
     std::vector<Event> overflow_;
+
+    /** Network lane: same two-level shape as the normal lane, but each
+     *  bucket is sorted by (src, seq) instead of FIFO. */
+    std::array<NetBucket, kRingSize> netRing_{};
+    std::array<std::uint64_t, kBitWords> netLive_{};
+    std::size_t netCount_ = 0;
+    std::vector<NetEvent> netOverflow_;
 };
 
 } // namespace flashsim

@@ -1,0 +1,204 @@
+#include "sim/shard.hh"
+
+#include <algorithm>
+#include <thread>
+
+#include "sim/logging.hh"
+
+namespace flashsim
+{
+
+namespace
+{
+
+/** Bounded spin before yielding the core: on a loaded host the waited-
+ *  on shard may well need this CPU to make progress. */
+void
+backoff(unsigned &spins)
+{
+    if (++spins < 64)
+        return;
+    std::this_thread::yield();
+}
+
+} // namespace
+
+int
+resolveShards(int requested, int num_nodes)
+{
+    if (requested <= 1)
+        return 1;
+    return std::max(1, std::min({requested, num_nodes, kMaxShards}));
+}
+
+void
+SyncArbiter::init(std::vector<EventQueue *> eqs, int num_nodes)
+{
+    shards_ = static_cast<int>(eqs.size());
+    per_.clear();
+    for (EventQueue *eq : eqs) {
+        auto p = std::make_unique<PerShard>();
+        p->eq = eq;
+        per_.push_back(std::move(p));
+    }
+    nodeSeq_.assign(static_cast<std::size_t>(num_nodes), 0);
+    execTick_.store(EventQueue::kNever, std::memory_order_relaxed);
+    parked_.assign(static_cast<std::size_t>(shards_), EventQueue::kNever);
+    phaseDone_ = 0;
+}
+
+void
+SyncArbiter::publishClock(int shard, Tick t)
+{
+    PerShard &p = *per_[static_cast<std::size_t>(shard)];
+    if (t < p.clock.load(std::memory_order_relaxed))
+        fatal("SyncArbiter: shard %d clock regression %llu -> %llu",
+              shard,
+              static_cast<unsigned long long>(
+                  p.clock.load(std::memory_order_relaxed)),
+              static_cast<unsigned long long>(t));
+    p.clock.store(t, std::memory_order_release);
+}
+
+void
+SyncArbiter::park(int shard, Tick tick, NodeId node,
+                  std::coroutine_handle<> h)
+{
+    PerShard &p = *per_[static_cast<std::size_t>(shard)];
+    const Tick c = p.clock.load(std::memory_order_relaxed);
+    if (tick < c && tick + 1 != c)
+        fatal("SyncArbiter: node %u parked at tick %llu behind shard %d "
+              "clock %llu",
+              node, static_cast<unsigned long long>(tick), shard,
+              static_cast<unsigned long long>(c));
+    p.ops.push_back(SyncOp{tick, node, nodeSeq_[node]++, h});
+}
+
+Tick
+SyncArbiter::minPending(int shard) const
+{
+    const PerShard &p = *per_[static_cast<std::size_t>(shard)];
+    Tick m = EventQueue::kNever;
+    for (const SyncOp &op : p.ops)
+        m = std::min(m, op.tick);
+    return m;
+}
+
+void
+SyncArbiter::runPhase(Tick u, const int *parts, int nparts)
+{
+    execTick_.store(u, std::memory_order_relaxed);
+    std::vector<SyncOp> batch;
+    while (true) {
+        // Round snapshot: every parked shard's tick-u operations, in
+        // canonical (node, seq) order. Operations parked *while* the
+        // batch runs (a released coroutine immediately re-entering a
+        // sync point at this tick) form the next round.
+        batch.clear();
+        for (int i = 0; i < nparts; ++i) {
+            auto &ops = per_[static_cast<std::size_t>(parts[i])]->ops;
+            for (std::size_t k = 0; k < ops.size();) {
+                if (ops[k].tick == u) {
+                    batch.push_back(ops[k]);
+                    ops[k] = ops.back();
+                    ops.pop_back();
+                } else {
+                    ++k;
+                }
+            }
+        }
+        if (batch.empty())
+            break;
+        std::sort(batch.begin(), batch.end(),
+                  [](const SyncOp &a, const SyncOp &b) {
+                      if (a.node != b.node)
+                          return a.node < b.node;
+                      return a.seq < b.seq;
+                  });
+        for (const SyncOp &op : batch)
+            op.h.resume();
+        // Resumed coroutines may have scheduled zero-time events at
+        // this tick (e.g. a queued write) on any parked shard: drain
+        // them before the next round so the tick stays complete.
+        for (int i = 0; i < nparts; ++i) {
+            EventQueue *eq = per_[static_cast<std::size_t>(parts[i])]->eq;
+            if (eq->nextTick() == u)
+                eq->drainTick(u);
+        }
+    }
+    execTick_.store(EventQueue::kNever, std::memory_order_relaxed);
+}
+
+void
+SyncArbiter::syncPhase(int shard, Tick u)
+{
+    if (shards_ == 1) {
+        int self = 0;
+        runPhase(u, &self, 1);
+        return;
+    }
+
+    PerShard &me = *per_[static_cast<std::size_t>(shard)];
+    const std::uint64_t rel = me.release.load(std::memory_order_relaxed);
+    // Register before publishing the clock: any shard whose rendezvous
+    // scan runs (it observed our clock pass u) is then guaranteed to
+    // find us in the table — the participant set is complete and
+    // frozen once every clock has passed u.
+    {
+        std::lock_guard<std::mutex> g(mu_);
+        parked_[static_cast<std::size_t>(shard)] = u;
+    }
+    me.clock.store(u + 1, std::memory_order_release);
+
+    unsigned spins = 0;
+    for (int p = 0; p < shards_; ++p) {
+        while (per_[static_cast<std::size_t>(p)]->clock.load(
+                   std::memory_order_acquire) <= u)
+            backoff(spins);
+    }
+
+    // Every shard has completed tick u. Under the lock, either the
+    // phase at u already ran in full (a fast executor finished while
+    // we spun — our release bump is already pending, so fall through
+    // to the wait), or every participant is still registered and every
+    // scanner computes the same set; its lowest member executes.
+    int parts[kMaxShards];
+    int nparts = 0;
+    bool executor = false;
+    {
+        std::lock_guard<std::mutex> g(mu_);
+        if (phaseDone_ <= u) {
+            for (int p = 0; p < shards_; ++p) {
+                if (parked_[static_cast<std::size_t>(p)] == u)
+                    parts[nparts++] = p;
+            }
+            executor = parts[0] == shard;
+        }
+    }
+
+    if (executor) {
+        runPhase(u, parts, nparts);
+        {
+            std::lock_guard<std::mutex> g(mu_);
+            phaseDone_ = u + 1;
+            for (int i = 0; i < nparts; ++i)
+                parked_[static_cast<std::size_t>(parts[i])] =
+                    EventQueue::kNever;
+        }
+        // The release bump is the participants' sole wake edge: its
+        // release order (paired with the acquire in the wait below) is
+        // what orders everything the phase did to a participant's ops
+        // and queue before that shard's next step.
+        for (int i = 0; i < nparts; ++i) {
+            if (parts[i] != shard)
+                per_[static_cast<std::size_t>(parts[i])]
+                    ->release.fetch_add(1, std::memory_order_release);
+        }
+    } else {
+        spins = 0;
+        while (me.release.load(std::memory_order_acquire) == rel)
+            backoff(spins);
+    }
+}
+
+} // namespace flashsim

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Conservative time-window PDES support.
+ *
+ * A sharded run partitions the machine's nodes into contiguous shards,
+ * gives each shard its own EventQueue, and advances all shards in
+ * barrier-synchronized windows [T, T+W) where W is the minimum
+ * inter-node mesh transit time: nodes interact only through the
+ * network, so a message sent inside a window cannot arrive before the
+ * next one (classic conservative lookahead).
+ *
+ * Two pieces live here:
+ *
+ *  - the node->shard partition and shard-count resolution helpers;
+ *
+ *  - SyncArbiter, which keeps sharded runs bit-identical to the
+ *    single-threaded path in the one place windows alone cannot:
+ *    host-side synchronization state (tango lock/barrier variables).
+ *    Every shared host access in the tango primitives passes through a
+ *    syncPoint() that defers the coroutine into a canonical per-tick
+ *    *sync phase*, executed in (tick, node, per-node sequence) order.
+ *    In a sharded run the shards rendezvous on that tick — the lowest
+ *    parked shard becomes the executor and runs every parked shard's
+ *    operations single-threaded in the same canonical order — so lock
+ *    winners and barrier arrival order cannot depend on thread timing.
+ */
+
+#ifndef FLASHSIM_SIM_SHARD_HH_
+#define FLASHSIM_SIM_SHARD_HH_
+
+#include <atomic>
+#include <coroutine>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace flashsim
+{
+
+/** Hard cap on shards per run (participant sets use fixed storage). */
+constexpr int kMaxShards = 64;
+
+/**
+ * Resolve a requested shard count against the machine: clamped to
+ * [1, min(num_nodes, kMaxShards)]. 0 means "one shard" (the
+ * single-threaded default). Deliberately not clamped to the host's
+ * core count — results are identical either way, and tests force
+ * multi-shard runs on any host; user-facing knobs (the CLI's --shards)
+ * apply the core-count clamp before building the config.
+ */
+int resolveShards(int requested, int num_nodes);
+
+/** Contiguous node partition: shard of node @p n (blocks of nearly
+ *  equal size, so mesh-adjacent nodes tend to share a shard). */
+inline int
+shardOfNode(int n, int num_nodes, int shards)
+{
+    return static_cast<int>(static_cast<std::int64_t>(n) * shards /
+                            num_nodes);
+}
+
+/**
+ * The cross-shard synchronization arbiter (see file comment).
+ *
+ * Per-shard clocks are monotone: clock(s) = t published with release
+ * order means shard s has fully completed every tick < t. A shard with
+ * a pending sync operation at tick u registers in the rendezvous table
+ * and parks (publishing clock u+1, its own tick-u event stage being
+ * complete), then waits until every shard's clock exceeds u; the
+ * lowest-numbered shard registered at u then executes all registered
+ * shards' tick-u operations in canonical order, draining any tick-u
+ * events they schedule, and releases the others. At most one sync
+ * phase is ever live machine-wide (the executor's own clock stays at
+ * u+1 until it finishes, blocking any later rendezvous), so the
+ * executor may safely resume coroutines owned by parked shards.
+ *
+ * The rendezvous bookkeeping (registration table + phase watermark) is
+ * mutex-guarded: registration happens *before* the clock publish, so
+ * once every clock has passed u the set of shards registered at u is
+ * complete and frozen, and every scanner computes the same set — one
+ * unique executor. A participant that only gets around to scanning
+ * after a fast executor already finished sees the watermark past u and
+ * falls straight through to the release wait (its release counter was
+ * already bumped); the acquire there is what orders the executor's
+ * phase work before everything the participant does next. Phase ticks
+ * strictly increase machine-wide (a completed phase consumes every
+ * tick-u sync op and tick-u event on its participants, and
+ * non-participants are already past u), which is what makes the single
+ * watermark sufficient.
+ */
+class SyncArbiter
+{
+  public:
+    SyncArbiter() = default;
+    SyncArbiter(const SyncArbiter &) = delete;
+    SyncArbiter &operator=(const SyncArbiter &) = delete;
+
+    /** (Re)initialize for a run over @p eqs (one queue per shard),
+     *  with @p num_nodes nodes machine-wide. */
+    void init(std::vector<EventQueue *> eqs, int num_nodes);
+
+    /** Defer a coroutine into the sync phase at @p tick (>= the
+     *  shard's current tick). Called on the owning shard's thread, or
+     *  by the executor during a phase (the owner is then parked). */
+    void park(int shard, Tick tick, NodeId node,
+              std::coroutine_handle<> h);
+
+    /** True while the sync phase at exactly @p tick is executing on
+     *  this thread — the continuation may then run inline (the same
+     *  deterministic rule in sharded and single-threaded runs). */
+    bool
+    inlineOk(Tick tick) const
+    {
+        return execTick_.load(std::memory_order_relaxed) == tick;
+    }
+
+    /** Earliest pending sync-op tick on @p shard, or
+     *  EventQueue::kNever. Owner thread (or coordinator at a window
+     *  barrier) only. */
+    Tick minPending(int shard) const;
+
+    /** Publish that every tick < @p t is complete on @p shard. */
+    void publishClock(int shard, Tick t);
+
+    /** Run the sync phase for tick @p u from @p shard (which has a
+     *  pending operation at @p u and has completed its tick-u events).
+     *  Blocks until the phase completes machine-wide. */
+    void syncPhase(int shard, Tick u);
+
+  private:
+    struct SyncOp
+    {
+        Tick tick;
+        NodeId node;
+        std::uint64_t seq;
+        std::coroutine_handle<> h;
+    };
+
+    struct alignas(64) PerShard
+    {
+        std::atomic<Tick> clock{0};
+        std::atomic<std::uint64_t> release{0};
+        EventQueue *eq = nullptr;
+        std::vector<SyncOp> ops;
+    };
+
+    void runPhase(Tick u, const int *parts, int nparts);
+
+    std::vector<std::unique_ptr<PerShard>> per_;
+    /** Rendezvous bookkeeping (see file comment). Guarded by mu_. */
+    std::mutex mu_;
+    /** parked_[s]: tick shard s is registered at, or kNever. */
+    std::vector<Tick> parked_;
+    /** All phases at ticks < phaseDone_ have completed. */
+    Tick phaseDone_ = 0;
+    /** Per-node monotonic sequence numbers for canonical op order
+     *  (each node is written only by its owning shard / the executor
+     *  while that shard is parked). */
+    std::vector<std::uint64_t> nodeSeq_;
+    std::atomic<Tick> execTick_{EventQueue::kNever};
+    int shards_ = 0;
+};
+
+} // namespace flashsim
+
+#endif // FLASHSIM_SIM_SHARD_HH_

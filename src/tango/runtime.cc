@@ -20,6 +20,20 @@ BusyAwaiter::await_ready() noexcept
     return true;
 }
 
+bool
+SyncPointAwaiter::await_ready() const noexcept
+{
+    if (!env->syncParker)
+        return true;
+    return env->syncInlineOk(env->proc().cursor());
+}
+
+void
+SyncPointAwaiter::await_suspend(std::coroutine_handle<> h)
+{
+    env->syncParker(env->proc().cursor(), h);
+}
+
 void
 BlockSendAwaiter::await_suspend(std::coroutine_handle<> h)
 {
@@ -98,6 +112,13 @@ Env::notifyBlockAcked(Addr)
     }
 }
 
+// Every access to the shared host-side variables (LockVar, BarrierVar)
+// below sits behind a syncPoint(): the decision logic runs inside the
+// machine's canonical sync phase, in (tick, node, sequence) order, so
+// races on the *host* state resolve identically however the run is
+// sharded. The simulated traffic (reads, writes, fetch&ops) is
+// untouched — syncPoint costs zero simulated time.
+
 Task
 Env::lockAcquire(LockVar &l)
 {
@@ -105,10 +126,12 @@ Env::lockAcquire(LockVar &l)
     while (true) {
         // Test: spin on a (usually cached) read of the lock line.
         co_await read(l.addr);
+        co_await syncPoint();
         if (!l.held) {
             // Test-and-set: gain exclusive ownership, then check that no
             // other processor won the race while our GETX was in flight.
             co_await write(l.addr);
+            co_await syncPoint();
             if (!l.held) {
                 l.held = true;
                 ++l.acquisitions;
@@ -123,6 +146,7 @@ Task
 Env::lockRelease(LockVar &l)
 {
     SyncRegion region(*this);
+    co_await syncPoint();
     l.held = false;
     co_await write(l.addr);
 }
@@ -131,6 +155,7 @@ Task
 Env::barrier(BarrierVar &b)
 {
     SyncRegion region(*this);
+    co_await syncPoint();
     ++b.episodes;
     const int my_gen = b.gen;
     BarrierVar::Group &g =
@@ -144,6 +169,7 @@ Env::barrier(BarrierVar &b)
         co_await read(g.countAddr);
         co_await write(g.countAddr);
     }
+    co_await syncPoint();
     ++g.count;
 
     if (g.count == g.size) {
@@ -155,6 +181,7 @@ Env::barrier(BarrierVar &b)
             co_await read(b.rootCountAddr);
             co_await write(b.rootCountAddr);
         }
+        co_await syncPoint();
         ++b.rootCount;
         if (b.rootCount == static_cast<int>(b.groups.size())) {
             // Global last arrival: release every group.
@@ -165,7 +192,10 @@ Env::barrier(BarrierVar &b)
             co_return;
         }
     }
-    while (b.gen == my_gen) {
+    while (true) {
+        co_await syncPoint();
+        if (b.gen != my_gen)
+            break;
         co_await busy(16); // spin backoff
         co_await read(g.flagAddr);
     }

@@ -50,6 +50,24 @@ struct BusyAwaiter
     void await_resume() const noexcept {}
 };
 
+/**
+ * Awaitable serializing access to shared *host-side* state (lock/
+ * barrier variables). Zero simulated time: it defers the continuation
+ * into the machine's canonical per-tick sync phase, where operations
+ * run in (tick, node, per-node sequence) order regardless of how the
+ * run is sharded across threads — the mechanism that keeps sharded
+ * runs bit-identical to the single-threaded path (see sim/shard.hh).
+ * When no machine wires the hooks (standalone Env), it is a no-op.
+ */
+struct SyncPointAwaiter
+{
+    Env *env;
+
+    bool await_ready() const noexcept;
+    void await_suspend(std::coroutine_handle<> h);
+    void await_resume() const noexcept {}
+};
+
 /** A spin lock living on one cache line. */
 struct LockVar
 {
@@ -144,6 +162,8 @@ class Env
     {
         return BusyAwaiter{this, instrs};
     }
+    /** Serialize the next shared host-state access (zero time). */
+    SyncPointAwaiter syncPoint() { return SyncPointAwaiter{this}; }
 
     /** Acquire a test-and-test&set spin lock. */
     Task lockAcquire(LockVar &l);
@@ -178,6 +198,12 @@ class Env
     std::function<void(NodeId, Addr, std::uint32_t, Tick)> blockSender;
     /** Node-side wiring: issue a fetch&op through this node's MAGIC. */
     std::function<void(Addr, Tick)> fetchOpSender;
+    /** Machine wiring: defer a continuation into the canonical sync
+     *  phase at the given tick. Unwired: syncPoint() is a no-op. */
+    std::function<void(Tick, std::coroutine_handle<>)> syncParker;
+    /** Machine wiring: may a sync point at this tick continue inline
+     *  (already inside the sync phase for that tick)? */
+    std::function<bool(Tick)> syncInlineOk;
     /** Node-side wiring: a fetch&op this node issued completed. */
     void notifyFetchOpDone(Addr addr);
     /** Node-side wiring: a block finished arriving here. */

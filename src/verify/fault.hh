@@ -2,8 +2,13 @@
  * @file
  * Deterministic fault injector.
  *
- * One xorshift64* stream, drawn in event order, decides every
- * perturbation, so a (seed, config) pair replays bit-identically. The
+ * Each node owns an independent xorshift64* stream (seeded from the
+ * run seed and the node id), drawn in that node's event order, so a
+ * (seed, config) pair replays bit-identically — including in sharded
+ * runs, where nodes advance on different threads: every draw is keyed
+ * by the node whose event stream triggered it (the message source for
+ * mesh jitter, the local MAGIC for queue stalls, NACKs and hint
+ * fates), and node-local event order is invariant under sharding. The
  * injector itself is pure policy — it only answers "what should happen
  * to this message"; the mechanism (delaying delivery, synthesizing a
  * NACK, swallowing a hint) lives at the call sites in the mesh and in
@@ -14,6 +19,8 @@
 
 #ifndef FLASHSIM_VERIFY_FAULT_HH_
 #define FLASHSIM_VERIFY_FAULT_HH_
+
+#include <vector>
 
 #include "sim/random.hh"
 #include "sim/stats.hh"
@@ -26,45 +33,55 @@ namespace flashsim::verify
 class FaultInjector
 {
   public:
-    explicit FaultInjector(const FaultParams &params)
-        : p_(params), rng_(params.seed)
-    {}
+    FaultInjector(const FaultParams &params, int num_nodes)
+        : p_(params), per_(static_cast<std::size_t>(num_nodes))
+    {
+        // Per-node seeds via a splitmix-style mix of the run seed and
+        // the node id: decorrelated streams from one knob.
+        for (std::size_t n = 0; n < per_.size(); ++n)
+            per_[n].rng = Rng(params.seed ^
+                              (0x9e3779b97f4a7c15ull * (n + 1)));
+    }
 
     bool enabled() const { return p_.enabled; }
     const FaultParams &params() const { return p_; }
 
-    /** Extra mesh transit cycles for one message. */
+    /** Extra mesh transit cycles for one message, drawn from the
+     *  stream of its source node. */
     Cycles
-    meshJitter()
+    meshJitter(NodeId src)
     {
         if (p_.meshJitter == 0)
             return 0;
-        Cycles j = rng_.below(p_.meshJitter + 1);
-        jitterCycles += j;
+        PerNode &n = per_[src];
+        Cycles j = n.rng.below(p_.meshJitter + 1);
+        n.jitterCycles += j;
         return j;
     }
 
-    /** Extra cycles a message waits to enter a MAGIC inbound queue
-     *  (models queue-full backpressure at the interfaces). */
+    /** Extra cycles a message waits to enter node @p at's MAGIC
+     *  inbound queue (models queue-full backpressure). */
     Cycles
-    inboundStall()
+    inboundStall(NodeId at)
     {
         if (p_.inboundStall == 0)
             return 0;
-        Cycles s = rng_.below(p_.inboundStall + 1);
-        stallCycles += s;
+        PerNode &n = per_[at];
+        Cycles s = n.rng.below(p_.inboundStall + 1);
+        n.stallCycles += s;
         return s;
     }
 
-    /** Should this home-node GET/GETX be NACKed outright? */
+    /** Should home node @p home NACK this GET/GETX outright? */
     bool
-    rollNack()
+    rollNack(NodeId home)
     {
         if (p_.extraNackProb <= 0.0)
             return false;
-        if (rng_.uniform() >= p_.extraNackProb)
+        PerNode &n = per_[home];
+        if (n.rng.uniform() >= p_.extraNackProb)
             return false;
-        ++nacksInjected;
+        ++n.nacksInjected;
         return true;
     }
 
@@ -75,19 +92,20 @@ class FaultInjector
         Duplicate,
     };
 
-    /** Fate of a replacement hint arriving at the home node. */
+    /** Fate of a replacement hint arriving at home node @p home. */
     HintFate
-    hintFate()
+    hintFate(NodeId home)
     {
         if (p_.dropHintProb <= 0.0 && p_.dupHintProb <= 0.0)
             return HintFate::Deliver;
-        double u = rng_.uniform();
+        PerNode &n = per_[home];
+        double u = n.rng.uniform();
         if (u < p_.dropHintProb) {
-            ++hintsDropped;
+            ++n.hintsDropped;
             return HintFate::Drop;
         }
         if (u < p_.dropHintProb + p_.dupHintProb) {
-            ++hintsDuped;
+            ++n.hintsDuped;
             return HintFate::Duplicate;
         }
         return HintFate::Deliver;
@@ -101,16 +119,57 @@ class FaultInjector
         return p_.enabled && (p_.dropHintProb > 0.0 || p_.dupHintProb > 0.0);
     }
 
-    // -- Statistics ---------------------------------------------------------
-    Counter nacksInjected = 0;
-    Counter hintsDropped = 0;
-    Counter hintsDuped = 0;
-    Counter jitterCycles = 0;
-    Counter stallCycles = 0;
+    // -- Statistics (summed over nodes) -------------------------------------
+    Counter
+    nacksInjected() const
+    {
+        return sum(&PerNode::nacksInjected);
+    }
+    Counter
+    hintsDropped() const
+    {
+        return sum(&PerNode::hintsDropped);
+    }
+    Counter
+    hintsDuped() const
+    {
+        return sum(&PerNode::hintsDuped);
+    }
+    Counter
+    jitterCycles() const
+    {
+        return sum(&PerNode::jitterCycles);
+    }
+    Counter
+    stallCycles() const
+    {
+        return sum(&PerNode::stallCycles);
+    }
 
   private:
+    /** Padded to a cache line: adjacent nodes' streams are drawn from
+     *  different shard threads concurrently. */
+    struct alignas(64) PerNode
+    {
+        Rng rng{0};
+        Counter nacksInjected = 0;
+        Counter hintsDropped = 0;
+        Counter hintsDuped = 0;
+        Counter jitterCycles = 0;
+        Counter stallCycles = 0;
+    };
+
+    Counter
+    sum(Counter PerNode::*f) const
+    {
+        Counter total = 0;
+        for (const PerNode &n : per_)
+            total += n.*f;
+        return total;
+    }
+
     FaultParams p_;
-    Rng rng_;
+    std::vector<PerNode> per_;
 };
 
 } // namespace flashsim::verify

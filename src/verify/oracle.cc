@@ -80,7 +80,51 @@ CoherenceOracle::onHandler(NodeId node, bool at_home, Tick now,
                            const Message &msg, const HandlerResult &res)
 {
     const Addr lb = lineBase(msg.addr);
+    if (!applyTransition(node, at_home, now, msg, res, lb))
+        return;
 
+    GoldenLine *g = find(lb);
+    if (g == nullptr)
+        return;
+    if (at_home)
+        checkDirectory(now, node, lb, *g);
+    checkCaches(now, node, lb, *g, /*quiesced=*/false);
+}
+
+void
+CoherenceOracle::onHandlerDeferred(NodeId node, bool at_home, Tick now,
+                                   const Message &msg,
+                                   const HandlerResult &res)
+{
+    const Addr lb = lineBase(msg.addr);
+    if (!applyTransition(node, at_home, now, msg, res, lb))
+        return;
+    if (find(lb) != nullptr)
+        touched_.push_back(lb);
+}
+
+void
+CoherenceOracle::runDeferredChecks(Tick now)
+{
+    std::sort(touched_.begin(), touched_.end());
+    touched_.erase(std::unique(touched_.begin(), touched_.end()),
+                   touched_.end());
+    for (Addr lb : touched_) {
+        GoldenLine *g = find(lb);
+        if (g == nullptr)
+            continue;
+        NodeId home = w_.homeOf(lb);
+        checkDirectory(now, home, lb, *g);
+        checkCaches(now, home, lb, *g, /*quiesced=*/false);
+    }
+    touched_.clear();
+}
+
+bool
+CoherenceOracle::applyTransition(NodeId node, bool at_home, Tick now,
+                                 const Message &msg,
+                                 const HandlerResult &res, Addr lb)
+{
     switch (res.id) {
       // Message-passing and fetch&op traffic bypasses the directory.
       case HandlerId::BlockXferReceive:
@@ -88,7 +132,7 @@ CoherenceOracle::onHandler(NodeId node, bool at_home, Tick now,
       case HandlerId::FetchOpService:
       case HandlerId::FetchOpAck:
       case HandlerId::FwdToHome:
-        return;
+        return false;
       default:
         break;
     }
@@ -274,13 +318,7 @@ CoherenceOracle::onHandler(NodeId node, bool at_home, Tick now,
       default:
         break;
     }
-
-    GoldenLine *g = find(lb);
-    if (g == nullptr)
-        return;
-    if (at_home)
-        checkDirectory(now, node, lb, *g);
-    checkCaches(now, node, lb, *g, /*quiesced=*/false);
+    return true;
 }
 
 void

@@ -62,8 +62,8 @@ TEST(MeshNetwork, CountsDataMessages)
     net.send(msg(0, 1, false));
     net.send(msg(0, 1, true));
     eq.run();
-    EXPECT_EQ(net.messages, 2u);
-    EXPECT_EQ(net.dataMessages, 1u);
+    EXPECT_EQ(net.messages(), 2u);
+    EXPECT_EQ(net.dataMessages(), 1u);
 }
 
 TEST(MeshNetwork, SelfSendPaysOnlyEntryExitInAverageMode)
@@ -194,7 +194,7 @@ TEST(MeshNetwork, SendAtDeliversAtDeparturePlusTransit)
     eq.schedule(10, [&] { net.sendAt(msg(0, 3), eq.now() + 7); });
     eq.run();
     EXPECT_EQ(delivered, 10u + 7u + net.avgTransit());
-    EXPECT_EQ(net.messages, 1u);
+    EXPECT_EQ(net.messages(), 1u);
 }
 
 TEST(MeshNetwork, SendAtUnderPerturbKeepsFifoClamp)

@@ -313,7 +313,7 @@ TEST(RaceTest, NackStormConvergesOracleClean)
     });
     m.drain();
 
-    EXPECT_GT(m.sentinel()->injectorStats().nacksInjected, 0u);
+    EXPECT_GT(m.sentinel()->injectorStats().nacksInjected(), 0u);
     EXPECT_EQ(m.sentinel()->violations(), 0u);
     EXPECT_EQ(m.sentinel()->trips(), 0u);
     const auto &dir = m.node(0).magic().directory();

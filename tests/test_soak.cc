@@ -99,11 +99,11 @@ TEST(SoakTest, MultiSeedInjectionSweepIsOracleClean)
                 r.violations = sent->violations();
                 r.trips = sent->trips();
                 r.retired = sent->watchdog()->retired();
-                r.perturbations = sent->injectorStats().nacksInjected +
-                                  sent->injectorStats().hintsDropped +
-                                  sent->injectorStats().hintsDuped +
-                                  sent->injectorStats().jitterCycles +
-                                  sent->injectorStats().stallCycles;
+                r.perturbations = sent->injectorStats().nacksInjected() +
+                                  sent->injectorStats().hintsDropped() +
+                                  sent->injectorStats().hintsDuped() +
+                                  sent->injectorStats().jitterCycles() +
+                                  sent->injectorStats().stallCycles();
                 r.trackedLines = sent->oracle()->trackedLines();
                 return r;
             });

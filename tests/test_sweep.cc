@@ -220,8 +220,8 @@ digestJob(machine::MachineConfig cfg, Params params)
         d.avgMemOcc = s.avgMemOcc;
         d.readMisses = s.readMisses;
         d.writeMisses = s.writeMisses;
-        d.messages = m->network().messages;
-        d.dataMessages = m->network().dataMessages;
+        d.messages = m->network().messages();
+        d.dataMessages = m->network().dataMessages();
         return d;
     };
 }

@@ -299,11 +299,11 @@ runInjected(const MachineConfig &cfg)
     d.execTime = m.executionTime();
     d.violations = s->violations();
     d.trips = s->trips();
-    d.nacks = s->injectorStats().nacksInjected;
-    d.dropped = s->injectorStats().hintsDropped;
-    d.duped = s->injectorStats().hintsDuped;
-    d.jitter = s->injectorStats().jitterCycles;
-    d.stall = s->injectorStats().stallCycles;
+    d.nacks = s->injectorStats().nacksInjected();
+    d.dropped = s->injectorStats().hintsDropped();
+    d.duped = s->injectorStats().hintsDuped();
+    d.jitter = s->injectorStats().jitterCycles();
+    d.stall = s->injectorStats().stallCycles();
     return d;
 }
 
