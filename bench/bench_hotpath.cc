@@ -238,6 +238,45 @@ BM_MissRoundTrip(benchmark::State &state)
 }
 
 /**
+ * BM_MissRoundTrip with the recoverable-fault transport live: seeded
+ * wire-plane loss (drops, duplicates, reorders) on every lane, so each
+ * miss also pays sequence/dedup bookkeeping, ack traffic and a share
+ * of RTO retransmissions. The spread over BM_MissRoundTrip is the
+ * all-in cost of surviving a lossy mesh; the clean-path cost of merely
+ * compiling the transport in is gated separately (BM_MissRoundTrip
+ * must stay within a strict tolerance of its baseline).
+ */
+void
+BM_LossyMissRoundTrip(benchmark::State &state)
+{
+    constexpr int kLines = 512;
+    std::uint64_t misses = 0;
+    for (auto _ : state) {
+        machine::MachineConfig cfg = machine::MachineConfig::flash(4);
+        cfg.magic.verify.fault.enabled = true;
+        cfg.magic.verify.fault.seed = 17;
+        cfg.magic.verify.fault.wireDropProb = 0.05;
+        cfg.magic.verify.fault.wireDupProb = 0.03;
+        cfg.magic.verify.fault.wireReorderProb = 0.03;
+        machine::Machine m(cfg);
+        Addr base = m.alloc(kLines * kLineSize, /*node=*/1);
+        auto workload = [base](tango::Env &env) -> tango::Task {
+            co_await env.busy(0);
+            if (env.id() != 0)
+                co_return;
+            for (int i = 0; i < kLines; ++i)
+                co_await env.read(base +
+                                  static_cast<Addr>(i) * kLineSize);
+        };
+        m.run(workload);
+        m.drain();
+        misses += kLines;
+    }
+    benchmark::DoNotOptimize(misses);
+    state.SetItemsProcessed(static_cast<std::int64_t>(misses));
+}
+
+/**
  * Directory hot ops over the paged flat store: the add/remove/clear
  * sharer-list walks every home-node handler performs, plus the raw
  * word view the PP shadow memory reads through. 64 lines cycle
@@ -382,6 +421,7 @@ BENCHMARK(BM_DirectoryOps);
 BENCHMARK(BM_StatHandle);
 BENCHMARK(BM_MeshSend);
 BENCHMARK(BM_MissRoundTrip)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_LossyMissRoundTrip)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_ShardedRun)->Arg(1)->Arg(2)->Arg(4)->Unit(
     benchmark::kMillisecond);
 

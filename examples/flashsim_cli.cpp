@@ -80,7 +80,21 @@ usage()
         "  --inject-nacks P      P(NACK a home request outright)\n"
         "  --inject-drop-hints P P(drop a replacement hint)\n"
         "  --inject-dup-hints P  P(duplicate a replacement hint)\n"
-        "  --inject-stall N      max extra inbound-queue stall cycles\n");
+        "  --inject-stall N      max extra inbound-queue stall cycles\n"
+        "recoverable-fault transport (timing-invariant wire plane):\n"
+        "  --inject-loss P       P(drop)=P(dup)=P(reorder)=P per wire\n"
+        "                        frame; acked retransmission recovers\n"
+        "                        every loss, final state bit-identical\n"
+        "                        to the clean same-seed run\n"
+        "  --inject-txn-drop P   P(kill a NetGet/GetX at the home NI);\n"
+        "                        recovered by transaction retry\n"
+        "  --retry-backoff N     base transaction timeout in cycles\n"
+        "                        (doubles per retry, 16x cap; default\n"
+        "                        60000 when --inject-txn-drop is set)\n"
+        "  --retry-budget N      re-issues before a transaction gives\n"
+        "                        up and completes degraded (default 8)\n"
+        "exit codes: 0 ok, 1 usage, 2 verification failed (violation or\n"
+        "watchdog trip), 3 run degraded (some retry budget exhausted)\n");
 }
 
 } // namespace
@@ -183,6 +197,23 @@ main(int argc, char **argv)
             cfg.magic.verify.fault.enabled = true;
             cfg.magic.verify.fault.inboundStall =
                 std::strtoull(next(), nullptr, 0);
+        } else if (!std::strcmp(argv[i], "--inject-loss")) {
+            double p = std::atof(next());
+            cfg.magic.verify.fault.enabled = true;
+            cfg.magic.verify.fault.wireDropProb = p;
+            cfg.magic.verify.fault.wireDupProb = p;
+            cfg.magic.verify.fault.wireReorderProb = p;
+        } else if (!std::strcmp(argv[i], "--inject-txn-drop")) {
+            cfg.magic.verify.fault.enabled = true;
+            cfg.magic.verify.fault.txnDropProb = std::atof(next());
+            if (cfg.magic.txnRetryTimeout == 0)
+                cfg.magic.txnRetryTimeout = 60000;
+        } else if (!std::strcmp(argv[i], "--retry-backoff")) {
+            cfg.magic.txnRetryTimeout =
+                std::strtoull(next(), nullptr, 0);
+        } else if (!std::strcmp(argv[i], "--retry-budget")) {
+            cfg.magic.txnRetryBudget =
+                static_cast<std::uint32_t>(std::atoi(next()));
         } else {
             usage();
             return 1;
@@ -241,6 +272,28 @@ main(int argc, char **argv)
     if (s.mdcMissRate > 0)
         std::printf("MDC: %.2f%% miss rate (%.2f%% reads)\n",
                     100 * s.mdcMissRate, 100 * s.mdcReadMissRate);
+    if (m->network().transportEnabled())
+        std::printf("transport: %llu frames (%llu retransmits, %llu "
+                    "assured), %llu acks; injected %llu drops / %llu "
+                    "dups / %llu reorders; filtered %llu dups, held "
+                    "%llu reorders\n",
+                    static_cast<unsigned long long>(s.wireCopies),
+                    static_cast<unsigned long long>(s.wireRetransmits),
+                    static_cast<unsigned long long>(s.wireAssured),
+                    static_cast<unsigned long long>(s.wireAcks),
+                    static_cast<unsigned long long>(s.wireDrops),
+                    static_cast<unsigned long long>(s.wireDups),
+                    static_cast<unsigned long long>(s.wireReorders),
+                    static_cast<unsigned long long>(s.wireDupsFiltered),
+                    static_cast<unsigned long long>(
+                        s.wireReordersAccepted));
+    if (s.reqDropsInjected != 0 || s.timeoutRetries != 0 ||
+        s.lateFills != 0)
+        std::printf("txn recovery: %llu requests dropped at home NI, "
+                    "%llu timeout retries, %llu late fills\n",
+                    static_cast<unsigned long long>(s.reqDropsInjected),
+                    static_cast<unsigned long long>(s.timeoutRetries),
+                    static_cast<unsigned long long>(s.lateFills));
     if (const verify::Sentinel *sent = m->sentinel()) {
         std::fflush(stdout);
         sent->writeSummary(std::cout);
@@ -254,6 +307,24 @@ main(int argc, char **argv)
                          static_cast<unsigned long long>(sent->trips()));
             return 2;
         }
+    }
+    if (s.runDegraded()) {
+        // Structured degraded-run report: the run completed and the
+        // final state is coherent, but these transactions exhausted
+        // their retry budgets and resumed without data. Distinct exit
+        // code so harnesses separate "weaker result" from "broken".
+        std::fprintf(stderr,
+                     "RUN DEGRADED: %llu transaction(s) exhausted the "
+                     "retry budget (%llu degraded resumes)\n",
+                     static_cast<unsigned long long>(s.degradedTxns),
+                     static_cast<unsigned long long>(s.degradedResumes));
+        for (const Summary::DegradedTxn &d : s.degraded)
+            std::fprintf(stderr,
+                         "  node %u line 0x%llx gave up after %u "
+                         "retries\n", d.node,
+                         static_cast<unsigned long long>(d.line),
+                         d.retries);
+        return 3;
     }
     return 0;
 }

@@ -82,7 +82,22 @@ def main():
     ap.add_argument("--current", default=None,
                     help="saved benchmark JSON to compare instead of "
                          "running the binary")
+    ap.add_argument("--strict", action="append", default=[],
+                    metavar="NAME=TOL",
+                    help="tighter per-benchmark tolerance, e.g. "
+                         "BM_MissRoundTrip=0.05 to assert the clean "
+                         "miss path pays <5%% for features that are "
+                         "compiled in but disabled; repeatable")
     args = ap.parse_args()
+
+    strict = {}
+    for spec in args.strict:
+        name, _, tol = spec.partition("=")
+        if not tol:
+            print("error: --strict wants NAME=TOL, got %r" % spec,
+                  file=sys.stderr)
+            return 2
+        strict[name] = float(tol)
 
     baseline = load_benchmarks(args.baseline)
     if not baseline:
@@ -113,10 +128,11 @@ def main():
                   (width, name, fmt(baseline[name]), "MISSING", "-"))
             continue
         ratio = current[name] / baseline[name]
+        tol = strict.get(name, args.tolerance)
         flag = ""
-        if ratio > 1.0 + args.tolerance:
+        if ratio > 1.0 + tol:
             failures.append("%s: %.2fx baseline (limit %.2fx)" %
-                            (name, ratio, 1.0 + args.tolerance))
+                            (name, ratio, 1.0 + tol))
             flag = "  REGRESSED"
         print("%-*s %12s %12s %7.2fx%s" %
               (width, name, fmt(baseline[name]), fmt(current[name]),

@@ -114,14 +114,19 @@ Machine::Machine(const MachineConfig &cfg)
 
         for (auto &n : nodes_)
             n->magic().attachSentinel(sentinel_.get());
-        if (sentinel_->injector().enabled() &&
-            cfg_.magic.verify.fault.meshJitter > 0) {
+        if (sentinel_->injector().enabled()) {
             // Jitter draws come from the sending node's stream: send
             // order per node is shard-invariant, so the same seed
-            // perturbs the same messages at any shard count.
+            // perturbs the same messages at any shard count. Installed
+            // whenever the injector is on — not only when the jitter
+            // knob is nonzero — so every send consumes exactly one
+            // draw and enabling another injection class (loss, NACKs)
+            // can never shift the per-node stream positions.
             net_->setPerturb([this](const protocol::Message &m) {
                 return sentinel_->injector().meshJitter(m.src);
             });
+            if (cfg_.magic.verify.fault.wireLossy())
+                net_->enableTransport(&sentinel_->injector());
         }
     }
 }
@@ -418,9 +423,37 @@ Machine::drain()
     }
     // The machine is quiesced: every in-flight message has landed, so
     // the oracle can hold it to the strict (no transient windows)
-    // whole-machine invariants.
+    // whole-machine invariants — and every wire lane must have
+    // recovered every dropped copy.
+    net_->checkTransportQuiesced();
     if (sentinel_)
         sentinel_->finalCheck();
+}
+
+std::uint64_t
+Machine::stateDigest() const
+{
+    // FNV-1a over every allocated line's directory header + sharer
+    // list at its home plus each node's cache state for that line: a
+    // bit-exact fingerprint of the final architectural state, for the
+    // lossy-vs-clean and cross-shard equivalence tests.
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    auto mix = [&h](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (i * 8)) & 0xff;
+            h *= 0x100000001b3ull;
+        }
+    };
+    for (Addr line = base_; line < next_; line += kLineSize) {
+        const NodeId home = homeOf(line);
+        const auto hdr = nodes_[home]->magic().directory().header(line);
+        mix(hdr.pack());
+        for (NodeId s : nodes_[home]->magic().directory().sharers(line))
+            mix(s);
+        for (const auto &n : nodes_)
+            mix(static_cast<std::uint64_t>(n->cache().state(line)));
+    }
+    return h;
 }
 
 } // namespace flashsim::machine

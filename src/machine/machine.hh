@@ -77,6 +77,15 @@ class Machine : public protocol::AddressMap
     /** Drain remaining protocol events (trailing writebacks, acks). */
     void drain();
 
+    /**
+     * Bit-exact fingerprint of the final architectural state: every
+     * allocated line's directory header and sharer list at its home,
+     * plus each node's cache state for it. Two drained runs that agree
+     * here reached the same caches and directory bit for bit — the
+     * lossy-run equivalence criterion. Call after drain().
+     */
+    std::uint64_t stateDigest() const;
+
     // -- Access ----------------------------------------------------------------
     /** Shard 0's event queue (the only one when shards() == 1). */
     EventQueue &eq() { return *eqs_[0]; }
@@ -91,6 +100,7 @@ class Machine : public protocol::AddressMap
         return *nodes_[static_cast<std::size_t>(i)];
     }
     network::MeshNetwork &network() { return *net_; }
+    const network::MeshNetwork &network() const { return *net_; }
     const MachineConfig &config() const { return cfg_; }
     const protocol::HandlerPrograms &programs() const { return *programs_; }
     Tick executionTime() const { return execTime_; }

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "machine/machine.hh"
+#include "sim/stats.hh"
 
 namespace flashsim::machine
 {
@@ -76,10 +77,47 @@ struct Summary
     std::uint64_t mdcProtocolMemOps = 0; ///< MDC fills + writebacks
 
     std::uint64_t nacksSent = 0;
+
+    // -- Recoverable-fault transport (lossy-mesh mode) ----------------------
+    // Wire-plane injector actions and the ARQ machinery that absorbed
+    // them; all zero when the transport is disabled.
+    std::uint64_t wireDrops = 0;
+    std::uint64_t wireDups = 0;
+    std::uint64_t wireReorders = 0;
+    std::uint64_t wireCopies = 0;
+    std::uint64_t wireRetransmits = 0;
+    std::uint64_t wireAssured = 0;
+    std::uint64_t wireAcks = 0;
+    std::uint64_t wireDupsFiltered = 0;
+    std::uint64_t wireReordersAccepted = 0;
+
+    // Transaction-level recovery (request drops at the home NI).
+    std::uint64_t reqDropsInjected = 0;
+    std::uint64_t timeoutRetries = 0;
+    std::uint64_t lateFills = 0;
+    std::uint64_t degradedTxns = 0;
+    std::uint64_t degradedResumes = 0;
+
+    /** One transaction that exhausted its retry budget. */
+    struct DegradedTxn
+    {
+        NodeId node = 0;
+        Addr line = 0;
+        std::uint32_t retries = 0;
+    };
+    std::vector<DegradedTxn> degraded;
+
+    /** Some transaction gave up inside its retry budget: results are
+     *  complete but weaker than a clean run — report, don't trust. */
+    bool runDegraded() const { return degradedTxns != 0; }
 };
 
 /** Collect a Summary from a machine that has finished run(). */
 Summary summarize(const Machine &m);
+
+/** Publish the transport/recovery counters of @p s into @p stats under
+ *  dense "transport.*" handles (dashboards, bench fixtures). */
+void exportTransportStats(const Summary &s, StatSet &stats);
 
 /** Figure 4.1-style row: normalized total plus category percentages. */
 std::string breakdownRow(const std::string &label, const Summary &s,

@@ -129,6 +129,54 @@ class EventQueue
     /** Drop all pending events and reset time to zero. */
     void reset();
 
+    // -- Cancellable / re-armable timers ------------------------------------
+
+    /** Sentinel slot index for an invalid TimerId. */
+    static constexpr std::uint32_t kNoTimerSlot = ~std::uint32_t{0};
+
+    /**
+     * Handle to a timer slot. Default-constructed handles are invalid.
+     * A handle is invalidated by cancelTimer() (never by the timer
+     * merely firing: the slot and its stored callback stay allocated so
+     * the fire handler can rearmTimer() itself — the retransmit
+     * pattern).
+     */
+    struct TimerId
+    {
+        std::uint32_t slot = kNoTimerSlot;
+        std::uint32_t gen = 0;
+
+        bool valid() const { return slot != kNoTimerSlot; }
+    };
+
+    /**
+     * Arm a timer: run @p cb at absolute tick @p when, on the normal
+     * lane. Unlike a bare scheduleAt, the pending fire can be cancelled
+     * or moved. Cancellation is lazy — the queued event stays where it
+     * is and no-ops when reached — so arm/cancel/rearm are each O(1)
+     * plus at most one ordinary schedule.
+     */
+    TimerId armTimer(Tick when, Callback cb);
+
+    /**
+     * Re-schedule @p id's stored callback to fire at @p when instead,
+     * superseding any pending fire. Legal from within the timer's own
+     * callback (rearm-on-fire) and for a timer that already fired.
+     * @return false on a stale or invalid handle.
+     */
+    bool rearmTimer(TimerId id, Tick when);
+
+    /**
+     * Cancel @p id: any pending fire becomes a no-op and the slot is
+     * recycled. The stored callback is destroyed lazily when the slot
+     * is next reused. Safe on stale/invalid handles.
+     * @return true when a fire was actually pending.
+     */
+    bool cancelTimer(TimerId id);
+
+    /** True while @p id names a live timer with a pending fire. */
+    bool timerArmed(TimerId id) const;
+
   private:
     struct Event
     {
@@ -196,6 +244,21 @@ class EventQueue
         std::size_t head = 0;
     };
 
+    /**
+     * Timer slot: callback storage plus the validity counters that make
+     * lazy cancellation work. gen invalidates *handles* (bumped when
+     * the slot is freed for reuse); armSeq invalidates *in-flight fire
+     * events* (bumped by every arm/rearm/cancel, so a superseded fire
+     * no-ops when it runs).
+     */
+    struct TimerSlot
+    {
+        std::uint32_t gen = 0;
+        std::uint64_t armSeq = 0;
+        bool armed = false;
+        Callback cb;
+    };
+
     static constexpr std::size_t kRingMask = kRingSize - 1;
     static constexpr std::size_t kBitWords = kRingSize / 64;
 
@@ -226,6 +289,8 @@ class EventQueue
     void promoteNetOverflow(Tick t);
     /** Sorted insert of @p e into its tick's network bucket. */
     void insertNet(NetEvent e);
+    /** Queue the lazy-cancel fire wrapper for timer @p slot. */
+    void scheduleTimerFire(std::uint32_t slot, Tick when);
 
     Tick _now = 0;
     std::uint64_t nextSeq_ = 0;
@@ -245,6 +310,10 @@ class EventQueue
     std::array<std::uint64_t, kBitWords> netLive_{};
     std::size_t netCount_ = 0;
     std::vector<NetEvent> netOverflow_;
+
+    /** Timer slots + freelist of cancelled slots awaiting reuse. */
+    std::vector<TimerSlot> timers_;
+    std::vector<std::uint32_t> timerFree_;
 };
 
 } // namespace flashsim

@@ -34,25 +34,42 @@ class FaultInjector
 {
   public:
     FaultInjector(const FaultParams &params, int num_nodes)
-        : p_(params), per_(static_cast<std::size_t>(num_nodes))
+        : p_(params), numNodes_(num_nodes),
+          per_(static_cast<std::size_t>(num_nodes))
     {
         // Per-node seeds via a splitmix-style mix of the run seed and
         // the node id: decorrelated streams from one knob.
         for (std::size_t n = 0; n < per_.size(); ++n)
             per_[n].rng = Rng(params.seed ^
                               (0x9e3779b97f4a7c15ull * (n + 1)));
+        // Per-(src,dst)-lane streams for the wire plane, mixed with a
+        // different constant so lane streams never collide with node
+        // streams. Drawn in lane transmission order — a property of
+        // the lane's own traffic, not of the shard partition.
+        if (p_.wireLossy()) {
+            lanes_.resize(static_cast<std::size_t>(num_nodes) *
+                          static_cast<std::size_t>(num_nodes));
+            for (std::size_t l = 0; l < lanes_.size(); ++l)
+                lanes_[l].rng = Rng(params.seed ^
+                                    (0xbf58476d1ce4e5b9ull * (l + 1)));
+        }
     }
 
     bool enabled() const { return p_.enabled; }
     const FaultParams &params() const { return p_; }
+
+    // Every decision method below consumes exactly the same number of
+    // stream draws regardless of which injection classes are enabled:
+    // a disabled class draws and discards rather than early-outing.
+    // Otherwise flipping one knob (say, enabling loss) would shift the
+    // per-node stream positions and change every *other* class's
+    // decisions for the same seed.
 
     /** Extra mesh transit cycles for one message, drawn from the
      *  stream of its source node. */
     Cycles
     meshJitter(NodeId src)
     {
-        if (p_.meshJitter == 0)
-            return 0;
         PerNode &n = per_[src];
         Cycles j = n.rng.below(p_.meshJitter + 1);
         n.jitterCycles += j;
@@ -64,8 +81,6 @@ class FaultInjector
     Cycles
     inboundStall(NodeId at)
     {
-        if (p_.inboundStall == 0)
-            return 0;
         PerNode &n = per_[at];
         Cycles s = n.rng.below(p_.inboundStall + 1);
         n.stallCycles += s;
@@ -76,8 +91,6 @@ class FaultInjector
     bool
     rollNack(NodeId home)
     {
-        if (p_.extraNackProb <= 0.0)
-            return false;
         PerNode &n = per_[home];
         if (n.rng.uniform() >= p_.extraNackProb)
             return false;
@@ -96,8 +109,6 @@ class FaultInjector
     HintFate
     hintFate(NodeId home)
     {
-        if (p_.dropHintProb <= 0.0 && p_.dupHintProb <= 0.0)
-            return HintFate::Deliver;
         PerNode &n = per_[home];
         double u = n.rng.uniform();
         if (u < p_.dropHintProb) {
@@ -109,6 +120,61 @@ class FaultInjector
             return HintFate::Duplicate;
         }
         return HintFate::Deliver;
+    }
+
+    /** Should this inbound network request (NetGet/NetGetx) die at home
+     *  node @p home's NI, before touching any protocol state? Recovery
+     *  relies on the requester's transaction timeout/retry. */
+    bool
+    txnDrop(NodeId home)
+    {
+        PerNode &n = per_[home];
+        if (n.rng.uniform() >= p_.txnDropProb)
+            return false;
+        ++n.reqDropsInjected;
+        return true;
+    }
+
+    // -- Wire-plane fates (per-lane streams) --------------------------------
+
+    enum class WireFate
+    {
+        Deliver,
+        Drop,
+        Duplicate,
+        Reorder,
+    };
+
+    /**
+     * Fate of one wire copy on lane (@p src -> @p dst), drawn from that
+     * lane's stream. When the fate is Reorder, @p extra_delay receives
+     * the hold-back (>= 1 cycle). Only ever called with the wire plane
+     * built (p_.wireLossy()).
+     */
+    WireFate
+    wireFate(NodeId src, NodeId dst, Cycles &extra_delay)
+    {
+        PerLane &l = lanes_[static_cast<std::size_t>(src) *
+                                static_cast<std::size_t>(numNodes_) +
+                            dst];
+        extra_delay = 0;
+        double u = l.rng.uniform();
+        if (u < p_.wireDropProb) {
+            ++l.drops;
+            return WireFate::Drop;
+        }
+        if (u < p_.wireDropProb + p_.wireDupProb) {
+            ++l.dups;
+            return WireFate::Duplicate;
+        }
+        if (u < p_.wireDropProb + p_.wireDupProb + p_.wireReorderProb) {
+            ++l.reorders;
+            extra_delay =
+                1 + l.rng.below(p_.wireReorderDelay > 0 ? p_.wireReorderDelay
+                                                        : 1);
+            return WireFate::Reorder;
+        }
+        return WireFate::Deliver;
     }
 
     /** True when hint perturbation can leave duplicate or stale sharer
@@ -145,6 +211,26 @@ class FaultInjector
     {
         return sum(&PerNode::stallCycles);
     }
+    Counter
+    reqDropsInjected() const
+    {
+        return sum(&PerNode::reqDropsInjected);
+    }
+    Counter
+    wireDropsInjected() const
+    {
+        return laneSum(&PerLane::drops);
+    }
+    Counter
+    wireDupsInjected() const
+    {
+        return laneSum(&PerLane::dups);
+    }
+    Counter
+    wireReordersInjected() const
+    {
+        return laneSum(&PerLane::reorders);
+    }
 
   private:
     /** Padded to a cache line: adjacent nodes' streams are drawn from
@@ -157,6 +243,17 @@ class FaultInjector
         Counter hintsDuped = 0;
         Counter jitterCycles = 0;
         Counter stallCycles = 0;
+        Counter reqDropsInjected = 0;
+    };
+
+    /** One wire lane's fault stream + fate counters. Padded like
+     *  PerNode: lane (s, d) is drawn only from s's shard thread. */
+    struct alignas(64) PerLane
+    {
+        Rng rng{0};
+        Counter drops = 0;
+        Counter dups = 0;
+        Counter reorders = 0;
     };
 
     Counter
@@ -168,8 +265,19 @@ class FaultInjector
         return total;
     }
 
+    Counter
+    laneSum(Counter PerLane::*f) const
+    {
+        Counter total = 0;
+        for (const PerLane &l : lanes_)
+            total += l.*f;
+        return total;
+    }
+
     FaultParams p_;
+    int numNodes_;
     std::vector<PerNode> per_;
+    std::vector<PerLane> lanes_;
 };
 
 } // namespace flashsim::verify

@@ -177,6 +177,9 @@ CoherenceOracle::applyTransition(NodeId node, bool at_home, Tick now,
                 continue;
             // The home's own copy is invalidated synchronously inside
             // the handler; remote sharers have an inval in flight.
+            // Either way the sharer may have evicted already, with its
+            // replacement hint still crossing the mesh toward us.
+            g.hintDebt |= bit(s);
             if (s != node)
                 g.invalPending |= bit(s);
         }
@@ -251,6 +254,12 @@ CoherenceOracle::applyTransition(NodeId node, bool at_home, Tick now,
         if (g.mirrorCount[src] > 0) {
             if (--g.mirrorCount[src] == 0)
                 g.truthSharers &= ~bit(src);
+        } else if ((g.hintDebt & bit(src)) != 0) {
+            // The hint crossed the invalidation from a later exclusive
+            // grant; the directory entry it meant to retire is already
+            // gone. Benign race — consume the forgiveness so a second,
+            // genuinely spurious hint from this node still fails.
+            g.hintDebt &= ~bit(src);
         } else if (!allowHintAnomalies_) {
             fail(now, node, lb, "hint-underflow",
                  "replacement hint from node " + std::to_string(src) +

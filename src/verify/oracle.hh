@@ -124,6 +124,11 @@ class CoherenceOracle
         NodeId truthOwner = kInvalidNode;
         std::uint64_t truthSharers = 0; ///< bitmask: entitled Shared
         std::uint64_t invalPending = 0; ///< inval sent, not yet arrived
+        /** Sharers cleared by an exclusive grant whose eviction hint
+         *  may still be in flight: a hint crossing the invalidation on
+         *  the mesh is a benign race (hints are imprecise by design),
+         *  forgiven once per invalidation event. */
+        std::uint64_t hintDebt = 0;
         std::uint64_t writeEpoch = 0;
         std::uint64_t memEpoch = 0;
         bool swbInFlight = false; ///< 3-hop sharing writeback en route

@@ -142,6 +142,22 @@ Sentinel::txnRetire(NodeId node, Addr addr)
 }
 
 void
+Sentinel::txnRetry(NodeId node, Addr addr)
+{
+    if (!watchdog_)
+        return;
+    if (windowed_) {
+        Deferred d;
+        d.k = Deferred::K::TxnRetry;
+        d.tick = nodeEqs_[node]->now();
+        d.addr = addr;
+        buffers_[node].d.push_back(std::move(d));
+        return;
+    }
+    watchdog_->txnRetry(node, addr);
+}
+
+void
 Sentinel::flushWindow()
 {
     if (!windowed_)
@@ -196,6 +212,9 @@ Sentinel::flushWindow()
             break;
           case Deferred::K::TxnRetire:
             watchdog_->txnRetire(r.node, d.addr);
+            break;
+          case Deferred::K::TxnRetry:
+            watchdog_->txnRetry(r.node, d.addr);
             break;
         }
     }
@@ -269,6 +288,13 @@ Sentinel::writeSummary(std::ostream &os) const
            << injector_.hintsDropped() << " hints dropped, "
            << injector_.hintsDuped() << " duped, " << injector_.jitterCycles()
            << " jitter cyc, " << injector_.stallCycles() << " stall cyc)";
+    if (injector_.params().wireLossy())
+        os << " wire(" << injector_.wireDropsInjected() << " drops, "
+           << injector_.wireDupsInjected() << " dups, "
+           << injector_.wireReordersInjected() << " reorders)";
+    if (injector_.reqDropsInjected() != 0)
+        os << " txn(" << injector_.reqDropsInjected()
+           << " requests dropped)";
     os << "\n";
 }
 
@@ -294,6 +320,13 @@ Sentinel::writePostMortem(std::ostream &os, const char *reason) const
            << injector_.hintsDuped() << " duplicated, "
            << injector_.jitterCycles() << " jitter cycle(s), "
            << injector_.stallCycles() << " stall cycle(s)\n";
+    if (injector_.params().wireLossy() ||
+        injector_.reqDropsInjected() != 0)
+        os << "injected loss: " << injector_.wireDropsInjected()
+           << " wire drop(s), " << injector_.wireDupsInjected()
+           << " wire dup(s), " << injector_.wireReordersInjected()
+           << " wire reorder(s), " << injector_.reqDropsInjected()
+           << " request(s) dropped at home NI\n";
     os << "recent activity (oldest first, ring depth "
        << params_.traceDepth << "):\n";
     for (int n = 0; n < numNodes_; ++n)

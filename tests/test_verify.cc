@@ -15,6 +15,7 @@
 
 #include "machine/machine.hh"
 #include "sim/logging.hh"
+#include "verify/oracle.hh"
 
 namespace flashsim::machine
 {
@@ -177,6 +178,55 @@ TEST(OracleTest, CatchesCorruptedOwnerInBrokenHandler)
 }
 
 // ---------------------------------------------------------------------------
+// Oracle: a replacement hint crossing an invalidation on the mesh is a
+// benign race (hints are imprecise by design), forgiven exactly once
+// per invalidated sharer -- a second hint is still a violation.
+
+TEST(OracleTest, HintCrossingInvalidationIsForgivenOnce)
+{
+    verify::CoherenceOracle::Wiring w;
+    w.numNodes = 4;
+    w.homeOf = [](Addr) { return NodeId{0}; };
+    w.header = [](NodeId, Addr) { return protocol::DirHeader{}; };
+    w.sharers = [](NodeId, Addr) { return std::vector<NodeId>{}; };
+    w.cacheState = [](NodeId, Addr) { return 0; };
+    verify::CoherenceOracle oracle(std::move(w),
+                                   /*allow_hint_anomalies=*/false);
+
+    const Addr line = 0x1000;
+    auto feed = [&](HandlerId id, protocol::MsgType type, NodeId src) {
+        Message msg;
+        msg.type = type;
+        msg.src = src;
+        msg.requester = src;
+        msg.addr = line;
+        HandlerResult res;
+        res.id = id;
+        // Deferred observation applies the golden transition without
+        // cross-checking the (stubbed) live machine.
+        oracle.onHandlerDeferred(/*node=*/0, /*at_home=*/true, /*now=*/0,
+                                 msg, res);
+    };
+
+    // Node 1 reads: it becomes a golden sharer.
+    feed(HandlerId::ServeReadMemory, protocol::MsgType::NetGet, 1);
+    // Node 2 writes: the sharer list is cleared and an inval races
+    // toward node 1 -- whose eviction hint may already be in flight.
+    feed(HandlerId::ServeWriteMemory, protocol::MsgType::NetGetx, 2);
+    EXPECT_EQ(oracle.violations(), 0u);
+
+    // The in-flight hint lands after the exclusive grant: benign.
+    feed(HandlerId::RemoteHintOnly, protocol::MsgType::NetReplaceHint, 1);
+    EXPECT_EQ(oracle.violations(), 0u);
+
+    // A second hint from the same node has no invalidation to blame.
+    feed(HandlerId::RemoteHintOnly, protocol::MsgType::NetReplaceHint, 1);
+    EXPECT_EQ(oracle.violations(), 1u);
+    ASSERT_FALSE(oracle.violationLog().empty());
+    EXPECT_EQ(oracle.violationLog().back().kind, "hint-underflow");
+}
+
+// ---------------------------------------------------------------------------
 // Watchdog: trips on wedged transactions and on global no-progress,
 // disarms on quiescence so the event queue drains.
 
@@ -239,6 +289,39 @@ TEST(WatchdogTest, DisarmsWhenAllTransactionsRetire)
 
     EXPECT_EQ(wd.trips(), 0u);
     EXPECT_EQ(wd.retired(), 1u);
+    EXPECT_EQ(wd.outstanding(), 0u);
+}
+
+TEST(WatchdogTest, RetryRearmsTransactionAge)
+{
+    // A transaction that legitimately retries three times and retires
+    // just under the per-retry age limit must never trip: txnRetry
+    // restarts the age clock (and counts as progress). The control run
+    // without the retries trips on the very same schedule.
+    auto run = [](bool with_retries) {
+        EventQueue eq;
+        VerifyParams p = watchdogParams(100, 1000, 1u << 30);
+        Watchdog wd(eq, p);
+        wd.txnStart(4, 2 * kLineSize);
+        if (with_retries)
+            for (Tick t : {Tick{800}, Tick{1600}, Tick{2400}})
+                eq.schedule(t, [&wd] { wd.txnRetry(4, 2 * kLineSize); });
+        eq.schedule(3100, [&wd] { wd.txnRetire(4, 2 * kLineSize); });
+        eq.run();
+        return wd.trips();
+    };
+    EXPECT_EQ(run(true), 0u);
+    EXPECT_EQ(run(false), 1u);
+}
+
+TEST(WatchdogTest, RetryOfUnknownTransactionIsIgnored)
+{
+    EventQueue eq;
+    VerifyParams p = watchdogParams(100, 1000, 500);
+    Watchdog wd(eq, p);
+    wd.txnRetry(0, 0); // nothing outstanding: must not arm or crash
+    eq.run();
+    EXPECT_EQ(wd.trips(), 0u);
     EXPECT_EQ(wd.outstanding(), 0u);
 }
 
