@@ -294,6 +294,23 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(s.reqDropsInjected),
                     static_cast<unsigned long long>(s.timeoutRetries),
                     static_cast<unsigned long long>(s.lateFills));
+    if (m->shards() > 1) {
+        const machine::Machine::ShardRunStats &st = m->shardStats();
+        std::printf("shard windows: %llu run (%llu skipped ahead over "
+                    "%llu idle ticks, %llu widened), width %.1f mean / "
+                    "%llu max\n",
+                    static_cast<unsigned long long>(st.windowsRun),
+                    static_cast<unsigned long long>(st.windowsSkipped),
+                    static_cast<unsigned long long>(st.ticksSkipped),
+                    static_cast<unsigned long long>(st.windowsWidened),
+                    st.meanWidth(),
+                    static_cast<unsigned long long>(st.maxWidth));
+        std::printf("shard sync: %llu tango phases, %llu barrier parks, "
+                    "%.2f ms coordinator barrier wait\n",
+                    static_cast<unsigned long long>(st.syncPhases),
+                    static_cast<unsigned long long>(st.barrierParks),
+                    static_cast<double>(st.barrierWaitNs) / 1e6);
+    }
     if (const verify::Sentinel *sent = m->sentinel()) {
         std::fflush(stdout);
         sent->writeSummary(std::cout);

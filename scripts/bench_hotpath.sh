@@ -25,4 +25,21 @@ fi
     --benchmark_out_format=json \
     "$@"
 
+# Stamp the host shape into the record: the shard-scaling benches
+# (BM_Sharded*/N) only mean anything when the recording host had >= N
+# cores, and scripts/bench_gate.py skips them otherwise.
+python3 - "$repo_root/BENCH_hotpath.json" <<'EOF'
+import json, os, socket, sys
+path = sys.argv[1]
+with open(path) as f:
+    doc = json.load(f)
+doc["bench_host"] = {
+    "cores": os.cpu_count() or 0,
+    "host": socket.gethostname(),
+}
+with open(path, "w") as f:
+    json.dump(doc, f, indent=1)
+    f.write("\n")
+EOF
+
 echo "wrote $repo_root/BENCH_hotpath.json" >&2

@@ -1,7 +1,7 @@
 #include "machine/machine.hh"
 
 #include <algorithm>
-#include <barrier>
+#include <chrono>
 #include <thread>
 
 #include "sim/logging.hh"
@@ -277,8 +277,15 @@ Machine::runShardWindow(int s, Tick wend)
             break;
         // Publish before executing tick u: shards rendezvousing at an
         // earlier tick may proceed, while anyone waiting on tick u
-        // itself must keep waiting — we might still park there.
-        arb_.publishClock(s, u);
+        // itself must keep waiting — we might still park there. The
+        // publish is liveness-only (registration-before-publish is
+        // what freezes participant sets), so it is elided while no
+        // shard is in a rendezvous — the common case; the watermark is
+        // re-checked every iteration and the window-end publish below
+        // is unconditional, so a parked shard never waits on us for
+        // more than one tick's worth of work.
+        if (arb_.anyParked())
+            arb_.publishClock(s, u);
         if (tq == u)
             eq.drainTick(u);
         if (arb_.minPending(s) == u)
@@ -296,6 +303,58 @@ Machine::earliestWork() const
         t = std::min(t, arb_.minPending(s));
     }
     return t;
+}
+
+Tick
+Machine::windowEndFor(Tick T) const
+{
+    // Adaptive widening. A window [T, wend) is safe iff no cross-shard
+    // message sent during it is due before wend (staged sends merge at
+    // the edge, so an earlier due time would deliver it late). Every
+    // send from shard s this window happens at or after
+    // e_s = min(nextTick, pending sync op) — including sends from
+    // sync-phase-resumed coroutines, which run at park ticks >= e_s —
+    // and takes at least the shard's minimum outbound transit L_s, so
+    // nothing can be due before min_s(e_s + L_s). Called at a window
+    // edge, every future cross-shard arrival is already merged, and
+    // armed ARQ/retry timers are plain events inside nextTick, so they
+    // bound the horizon automatically. With the stock uniform-latency
+    // mesh the bound degenerates to T + lookahead (the shard owning T
+    // bounds itself); it widens when outbound transits differ per
+    // shard. Proof sketch in DESIGN.md 5i.
+    Tick wend = T + lookahead_;
+    if (shards_ > 1) {
+        Tick bound = EventQueue::kNever;
+        for (int s = 0; s < shards_; ++s) {
+            const Tick e =
+                std::min(eqs_[static_cast<std::size_t>(s)]->nextTick(),
+                         arb_.minPending(s));
+            if (e == EventQueue::kNever)
+                continue;
+            bound = std::min(bound, e + net_->minOutboundTransit(s));
+        }
+        if (bound != EventQueue::kNever)
+            wend = std::max(wend, bound);
+    }
+    return wend;
+}
+
+void
+Machine::noteWindow(Tick T, Tick wend)
+{
+    ShardRunStats &st = shardStats_;
+    ++st.windowsRun;
+    if (anyWindow_ && T > lastWindowEnd_) {
+        ++st.windowsSkipped;
+        st.ticksSkipped += T - lastWindowEnd_;
+    }
+    const Tick w = wend - T;
+    st.ticksWindowed += w;
+    st.maxWidth = std::max(st.maxWidth, w);
+    if (w > lookahead_)
+        ++st.windowsWidened;
+    lastWindowEnd_ = wend;
+    anyWindow_ = true;
 }
 
 void
@@ -323,19 +382,52 @@ Machine::runSingle(const std::function<bool()> &all_done)
 void
 Machine::runSharded(const std::function<bool()> &all_done)
 {
-    std::atomic<bool> done{false};
-    std::atomic<Tick> windowEnd{0};
-    std::barrier<> gate(shards_);
+    // done/windowEnd are plain: they are written only inside the
+    // barrier's serial section and read after its release edge.
+    bool done = false;
+    Tick windowEnd = 0;
 
-    auto worker = [this, &done, &windowEnd, &gate](int s) {
+    // No spin budget on oversubscribed hosts — the shard being waited
+    // on needs this core to make progress.
+    const unsigned hw = std::thread::hardware_concurrency();
+    const int spin =
+        hw != 0 && static_cast<unsigned>(shards_) > hw ? 0 : 4096;
+    SpinBarrier gate(shards_, spin);
+
+    // The serial window edge, run by the barrier's last arriver while
+    // every other shard is held in the rendezvous: merge staged
+    // cross-shard traffic, flush the sentinel, then pick the next
+    // window — its start jumps to the earliest pending work machine-
+    // wide (idle-gap skipping: a quiescent stretch costs one
+    // rendezvous, not one per lookahead), and its end widens
+    // adaptively (windowEndFor). One rendezvous per window, with the
+    // same serial-section ordering the old two-std::barrier
+    // coordinator had.
+    auto edge = [&] {
+        net_->exchangeWindows();
+        if (sentinel_)
+            sentinel_->flushWindow();
+        if (all_done()) {
+            done = true;
+            return;
+        }
+        const Tick T = earliestWork();
+        if (T == EventQueue::kNever)
+            fatal("Machine::run: deadlock — event queue empty with %d "
+                  "processors unfinished",
+                  cfg_.numProcs);
+        windowEnd = windowEndFor(T);
+        noteWindow(T, windowEnd);
+    };
+
+    auto worker = [&](int s) {
         setLogTickSource(
             [this, s] { return eqs_[static_cast<std::size_t>(s)]->now(); });
         while (true) {
-            gate.arrive_and_wait(); // window start
-            if (done.load(std::memory_order_acquire))
+            gate.arriveAndWait(edge);
+            if (done)
                 break;
-            runShardWindow(s, windowEnd.load(std::memory_order_acquire));
-            gate.arrive_and_wait(); // window end
+            runShardWindow(s, windowEnd);
         }
         setLogTickSource({});
     };
@@ -345,32 +437,27 @@ Machine::runSharded(const std::function<bool()> &all_done)
     for (int s = 1; s < shards_; ++s)
         threads.emplace_back(worker, s);
 
-    // Main thread: shard 0 plus the between-window coordinator. Both
-    // barriers give full happens-before between every shard each
-    // window, so the coordinator (and the sentinel flush) sees all
-    // shards' window-complete state, and each new window sees the
-    // merged cross-shard messages.
+    // The main thread is shard 0's worker, and additionally meters its
+    // wall time inside the rendezvous (window edges it happens to run
+    // itself included) — the run report's barrier-wait estimate.
+    std::uint64_t waitNs = 0;
     while (true) {
-        const Tick T = earliestWork();
-        if (all_done()) {
-            done.store(true, std::memory_order_release);
-            gate.arrive_and_wait();
+        const auto t0 = std::chrono::steady_clock::now();
+        gate.arriveAndWait(edge);
+        waitNs += static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count());
+        if (done)
             break;
-        }
-        if (T == EventQueue::kNever)
-            fatal("Machine::run: deadlock — event queue empty with %d "
-                  "processors unfinished",
-                  cfg_.numProcs);
-        windowEnd.store(T + lookahead_, std::memory_order_release);
-        gate.arrive_and_wait(); // window start
-        runShardWindow(0, T + lookahead_);
-        gate.arrive_and_wait(); // window end
-        net_->exchangeWindows();
-        if (sentinel_)
-            sentinel_->flushWindow();
+        runShardWindow(0, windowEnd);
     }
     for (std::thread &t : threads)
         t.join();
+
+    shardStats_.barrierWaitNs += waitNs;
+    shardStats_.barrierParks = gate.parks();
+    shardStats_.syncPhases = arb_.phasesRun();
 }
 
 Tick
@@ -409,17 +496,22 @@ Machine::drain()
         // Drain the tail windowed but on one thread: the workloads
         // have finished, so no sync phases can arise (nothing parks),
         // and running the shards' windows back-to-back preserves the
-        // canonical order exactly as the threaded loop would.
+        // canonical order exactly as the threaded loop would. The same
+        // skipping/widening applies — retry-backoff and RTO tails are
+        // mostly armed-timer waits, which the horizon jumps over.
         while (true) {
             const Tick T = earliestWork();
             if (T == EventQueue::kNever)
                 break;
+            const Tick wend = windowEndFor(T);
+            noteWindow(T, wend);
             for (int s = 0; s < shards_; ++s)
-                runShardWindow(s, T + lookahead_);
+                runShardWindow(s, wend);
             net_->exchangeWindows();
             if (sentinel_)
                 sentinel_->flushWindow();
         }
+        shardStats_.syncPhases = arb_.phasesRun();
     }
     // The machine is quiesced: every in-flight message has landed, so
     // the oracle can hold it to the strict (no transient windows)

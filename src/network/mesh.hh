@@ -112,6 +112,15 @@ class MeshNetwork
      *  a shard count before constructing one). */
     static Cycles minTransitFor(int num_nodes, MeshParams params);
 
+    /**
+     * Minimum transit from any node of @p shard to any node outside
+     * it: the per-shard outbound lookahead bound behind the adaptive
+     * window widening (Machine::windowEndFor). Precomputed at
+     * construction; falls back to minTransit() on a single-endpoint
+     * network.
+     */
+    Cycles minOutboundTransit(int shard) const;
+
     /** avgTransit() for a hypothetical network. */
     static Cycles avgTransitFor(int num_nodes, MeshParams params);
 
@@ -178,6 +187,16 @@ class MeshNetwork
         Counter reordersAccepted = 0;  ///< frames held in reorder windows
     };
     TransportStats transportStats() const;
+
+    /**
+     * True when every wire lane has quiesced: all sent copies acked,
+     * every receiver's in-order point caught up, no held reorders.
+     * Trivially true while the transport is disabled. This is the
+     * predicate checkTransportQuiesced() panics on; exposed separately
+     * so tests and the run loop can poll the ARQ plane without dying.
+     * Quiescent (window-edge or drained) callers only.
+     */
+    bool transportQuiesced() const;
 
     /**
      * Panic unless every lane has quiesced: all sent wire copies
@@ -325,6 +344,8 @@ class MeshNetwork
     }
 
     Cycles rtoDelay(const SendLane &sl) const;
+    /** One (src, dst) lane's quiescence predicate. */
+    bool laneQuiesced(NodeId s, NodeId d) const;
     void wireOnSend(NodeId src, NodeId dst);
     void wireTransmit(const WireFrame &f, bool assured);
     void scheduleWireFrame(const WireFrame &f, Tick when);
@@ -346,6 +367,8 @@ class MeshNetwork
     std::vector<Tick> lastDelivery_;
 
     std::vector<Endpoint> eps_;
+    /** Per-shard minimum outbound transit (empty when single-shard). */
+    std::vector<Cycles> minOut_;
     /** Node -> shard (all zero in the single-shard constructor). */
     std::vector<int> shardOf_;
     /** Per-source monotonic send sequence: the canonical network-lane

@@ -54,6 +54,8 @@ EventQueue::scheduleAt(Tick when, Callback cb)
         overflow_.push_back(Event{when, nextSeq_++, std::move(cb)});
         std::push_heap(overflow_.begin(), overflow_.end(), Later{});
     }
+    if (nextCacheValid_ && when < nextCache_)
+        nextCache_ = when;
 }
 
 void
@@ -101,6 +103,8 @@ EventQueue::scheduleNet(Tick when, NodeId src, std::uint64_t srcSeq,
         std::push_heap(netOverflow_.begin(), netOverflow_.end(),
                        NetLater{});
     }
+    if (nextCacheValid_ && when < nextCache_)
+        nextCache_ = when;
 }
 
 EventQueue::TimerId
@@ -231,6 +235,16 @@ EventQueue::nextNetRingTick() const
 Tick
 EventQueue::nextTick() const
 {
+    if (!nextCacheValid_) {
+        nextCache_ = computeNextTick();
+        nextCacheValid_ = true;
+    }
+    return nextCache_;
+}
+
+Tick
+EventQueue::computeNextTick() const
+{
     Tick t = nextRingTick();
     if (!overflow_.empty() && overflow_.front().when < t)
         t = overflow_.front().when;
@@ -291,6 +305,7 @@ EventQueue::step()
     if (t == kNever)
         return false;
     _now = t;
+    nextCacheValid_ = false; // consuming: recompute lazily
     promoteOverflow(t);
     promoteNetOverflow(t);
     // Network lane first: within a tick every delivery precedes every
@@ -328,6 +343,7 @@ EventQueue::drainTick(Tick t)
 {
     std::uint64_t executed = 0;
     _now = t;
+    nextCacheValid_ = false; // callbacks schedule freely mid-drain
     promoteOverflow(t);
     promoteNetOverflow(t);
     // Network lane first, in (src, seq) order. A delivery can only
@@ -364,6 +380,10 @@ EventQueue::drainTick(Tick t)
         b.head = 0;
         clearLive(t);
     }
+    // Tick t is fully consumed; warm the horizon cache while the
+    // structures are hot so the window loop's nextTick() is O(1).
+    nextCache_ = computeNextTick();
+    nextCacheValid_ = true;
     return executed;
 }
 
@@ -403,6 +423,8 @@ EventQueue::reset()
     timerFree_.clear();
     _now = 0;
     nextSeq_ = 0;
+    nextCache_ = kNever;
+    nextCacheValid_ = true;
 }
 
 } // namespace flashsim

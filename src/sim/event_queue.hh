@@ -106,7 +106,15 @@ class EventQueue
                netOverflow_.size();
     }
 
-    /** Earliest pending tick across all lanes, or kNever. */
+    /**
+     * Earliest pending tick across all lanes (normal, network, and the
+     * timer fires riding the normal lane), or kNever. O(1) when the
+     * cached horizon is warm (see nextCache_) — this is the query the
+     * sharded run loop and the window-edge horizon computation hammer.
+     * Armed timers bound it like any other event; a lazily cancelled
+     * timer leaves its stale fire event behind, which can only make the
+     * answer conservatively early, never late.
+     */
     Tick nextTick() const;
 
     /**
@@ -279,6 +287,9 @@ class EventQueue
         }
     }
 
+    /** Recompute the earliest pending tick (bitmap scans + heap
+     *  fronts); nextTick() caches the result. */
+    Tick computeNextTick() const;
     /** Earliest pending tick in the ring, or kNever. */
     Tick nextRingTick() const;
     /** Earliest pending network-lane tick in its ring, or kNever. */
@@ -314,6 +325,17 @@ class EventQueue
     /** Timer slots + freelist of cancelled slots awaiting reuse. */
     std::vector<TimerSlot> timers_;
     std::vector<std::uint32_t> timerFree_;
+
+    /**
+     * Cached nextTick(). Exact-min maintained on schedule (an earlier
+     * insert lowers it); invalidated for the duration of a drain/step
+     * (callbacks schedule freely without touching it) and recomputed
+     * once when the tick completes. mutable: logically const — reads
+     * from another thread happen only at window edges, under the run
+     * barrier's happens-before (see machine/machine.cc).
+     */
+    mutable Tick nextCache_ = kNever;
+    mutable bool nextCacheValid_ = true;
 };
 
 } // namespace flashsim

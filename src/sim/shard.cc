@@ -16,8 +16,10 @@ namespace
 void
 backoff(unsigned &spins)
 {
-    if (++spins < 64)
+    if (++spins < 64) {
+        cpuRelax();
         return;
+    }
     std::this_thread::yield();
 }
 
@@ -45,6 +47,9 @@ SyncArbiter::init(std::vector<EventQueue *> eqs, int num_nodes)
     execTick_.store(EventQueue::kNever, std::memory_order_relaxed);
     parked_.assign(static_cast<std::size_t>(shards_), EventQueue::kNever);
     phaseDone_ = 0;
+    parkedHint_.store(0, std::memory_order_relaxed);
+    phasesRun_ = 0;
+    batch_.clear();
 }
 
 void
@@ -88,18 +93,21 @@ void
 SyncArbiter::runPhase(Tick u, const int *parts, int nparts)
 {
     execTick_.store(u, std::memory_order_relaxed);
-    std::vector<SyncOp> batch;
+    ++phasesRun_;
     while (true) {
         // Round snapshot: every parked shard's tick-u operations, in
         // canonical (node, seq) order. Operations parked *while* the
         // batch runs (a released coroutine immediately re-entering a
-        // sync point at this tick) form the next round.
-        batch.clear();
+        // sync point at this tick) form the next round. batch_ is a
+        // member so its storage survives across phases; executors are
+        // serialized machine-wide (at most one phase is live, and
+        // consecutive executors synchronize through mu_).
+        batch_.clear();
         for (int i = 0; i < nparts; ++i) {
             auto &ops = per_[static_cast<std::size_t>(parts[i])]->ops;
             for (std::size_t k = 0; k < ops.size();) {
                 if (ops[k].tick == u) {
-                    batch.push_back(ops[k]);
+                    batch_.push_back(ops[k]);
                     ops[k] = ops.back();
                     ops.pop_back();
                 } else {
@@ -107,15 +115,15 @@ SyncArbiter::runPhase(Tick u, const int *parts, int nparts)
                 }
             }
         }
-        if (batch.empty())
+        if (batch_.empty())
             break;
-        std::sort(batch.begin(), batch.end(),
+        std::sort(batch_.begin(), batch_.end(),
                   [](const SyncOp &a, const SyncOp &b) {
                       if (a.node != b.node)
                           return a.node < b.node;
                       return a.seq < b.seq;
                   });
-        for (const SyncOp &op : batch)
+        for (const SyncOp &op : batch_)
             op.h.resume();
         // Resumed coroutines may have scheduled zero-time events at
         // this tick (e.g. a queued write) on any parked shard: drain
@@ -140,6 +148,10 @@ SyncArbiter::syncPhase(int shard, Tick u)
 
     PerShard &me = *per_[static_cast<std::size_t>(shard)];
     const std::uint64_t rel = me.release.load(std::memory_order_relaxed);
+    // Raise the parked watermark first: every other shard's window
+    // loop re-checks it each iteration and resumes publishing per-tick
+    // clocks, which is what lets our clock spin below terminate.
+    parkedHint_.fetch_add(1, std::memory_order_relaxed);
     // Register before publishing the clock: any shard whose rendezvous
     // scan runs (it observed our clock pass u) is then guaranteed to
     // find us in the table — the participant set is complete and
@@ -199,6 +211,7 @@ SyncArbiter::syncPhase(int shard, Tick u)
         while (me.release.load(std::memory_order_acquire) == rel)
             backoff(spins);
     }
+    parkedHint_.fetch_sub(1, std::memory_order_relaxed);
 }
 
 } // namespace flashsim

@@ -33,6 +33,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <thread>
 #include <vector>
 
 #include "sim/event_queue.hh"
@@ -43,6 +44,113 @@ namespace flashsim
 
 /** Hard cap on shards per run (participant sets use fixed storage). */
 constexpr int kMaxShards = 64;
+
+/** De-prioritize the issuing hyperthread inside a spin loop without
+ *  giving up the core. */
+inline void
+cpuRelax()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield" ::: "memory");
+#endif
+}
+
+/**
+ * Sense-reversing (generation-counter) spin barrier with a serial
+ * section: the last arriver runs a callback while every other party is
+ * still held, then releases them by bumping the generation — one
+ * rendezvous per window instead of std::barrier's two, with no futex
+ * round-trip on the fast path. Waiters spin a bounded number of
+ * iterations, yield for a few more, then park in std::atomic::wait; the
+ * releaser pays the notify syscall only when somebody actually parked.
+ *
+ * Memory ordering: the arrival fetch_add is acq_rel, so the last
+ * arriver (via the release sequence on arrived_) observes every earlier
+ * party's window work before running the serial section, and the
+ * generation bump is a release store paired with the waiters' acquire
+ * loads, so everything the serial section wrote happens-before every
+ * released party's next window. That is the same full per-window
+ * happens-before edge the old two-std::barrier scheme provided, which
+ * the sharded determinism argument (DESIGN 5g) relies on.
+ *
+ * Generation reuse is safe: a party can only re-arrive after being
+ * released, releases happen only after the arrival counter was reset,
+ * and the count cannot reach parties_ again until every released party
+ * arrives anew — a waiter still draining out of the previous generation
+ * only ever reads gen_.
+ */
+class SpinBarrier
+{
+  public:
+    /** @p spin_limit bounds the busy-wait; pass 0 on oversubscribed
+     *  hosts (the waited-on shard may need this core). */
+    explicit SpinBarrier(int parties, int spin_limit = 4096)
+        : parties_(parties), spinLimit_(spin_limit)
+    {}
+
+    SpinBarrier(const SpinBarrier &) = delete;
+    SpinBarrier &operator=(const SpinBarrier &) = delete;
+
+    template <typename SerialFn>
+    void
+    arriveAndWait(SerialFn &&serial)
+    {
+        const std::uint32_t gen = gen_.load(std::memory_order_acquire);
+        if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+            parties_) {
+            serial();
+            arrived_.store(0, std::memory_order_relaxed);
+            gen_.fetch_add(1, std::memory_order_release);
+            if (parked_.load(std::memory_order_relaxed) != 0)
+                gen_.notify_all();
+            return;
+        }
+        int spins = 0;
+        while (gen_.load(std::memory_order_acquire) == gen) {
+            if (spins < spinLimit_) {
+                ++spins;
+                cpuRelax();
+            } else if (spins < spinLimit_ + kYields) {
+                ++spins;
+                std::this_thread::yield();
+            } else {
+                // No lost wakeup: wait() rechecks the value after the
+                // parked_ increment, and the releaser re-reads parked_
+                // after its generation bump.
+                parked_.fetch_add(1, std::memory_order_relaxed);
+                parks_.fetch_add(1, std::memory_order_relaxed);
+                gen_.wait(gen, std::memory_order_acquire);
+                parked_.fetch_sub(1, std::memory_order_relaxed);
+            }
+        }
+    }
+
+    void
+    arriveAndWait()
+    {
+        arriveAndWait([] {});
+    }
+
+    /** Times any party fell back to a futex park (diagnostics). */
+    std::uint64_t
+    parks() const
+    {
+        return parks_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    /** Yields between the spin phase and the futex park. */
+    static constexpr int kYields = 16;
+
+    const int parties_;
+    const int spinLimit_;
+    std::atomic<std::uint32_t> gen_{0};
+    std::atomic<int> arrived_{0};
+    std::atomic<int> parked_{0};
+    std::atomic<std::uint64_t> parks_{0};
+};
 
 /**
  * Resolve a requested shard count against the machine: clamped to
@@ -126,6 +234,27 @@ class SyncArbiter
     /** Publish that every tick < @p t is complete on @p shard. */
     void publishClock(int shard, Tick t);
 
+    /**
+     * True while some shard is registered in (or heading into) a sync
+     * rendezvous. Per-tick clock publishes are liveness-only — the
+     * registration-before-publish protocol freezes participant sets
+     * regardless of publish granularity — so the window loop skips
+     * them entirely while this watermark is clear, which is almost
+     * always. Relaxed reads suffice: a parker raises the watermark
+     * before spinning on the other shards' clocks, and a stale-zero
+     * read merely delays that shard's next publish by one loop
+     * iteration (every iteration re-checks, and the unconditional
+     * window-end publish bounds the wait).
+     */
+    bool
+    anyParked() const
+    {
+        return parkedHint_.load(std::memory_order_relaxed) != 0;
+    }
+
+    /** Sync phases executed so far (read the count quiescent). */
+    std::uint64_t phasesRun() const { return phasesRun_; }
+
     /** Run the sync phase for tick @p u from @p shard (which has a
      *  pending operation at @p u and has completed its tick-u events).
      *  Blocks until the phase completes machine-wide. */
@@ -163,6 +292,14 @@ class SyncArbiter
     std::vector<std::uint64_t> nodeSeq_;
     std::atomic<Tick> execTick_{EventQueue::kNever};
     int shards_ = 0;
+    /** Shards currently inside syncPhase (see anyParked()). */
+    std::atomic<int> parkedHint_{0};
+    /** Phases executed. Written by executors only; consecutive
+     *  executors are ordered through mu_ (phaseDone_ handoff). */
+    std::uint64_t phasesRun_ = 0;
+    /** Round-snapshot scratch reused across phases (allocation-free
+     *  window edges); same executor-serialized access as phasesRun_. */
+    std::vector<SyncOp> batch_;
 };
 
 } // namespace flashsim

@@ -167,28 +167,25 @@ Sentinel::flushWindow()
     // these observations, so the trace rings and golden transitions
     // are bit-identical across shard counts. Within one node the
     // buffer is already tick-ordered, so a stable sort on tick with
-    // node as tiebreaker is a true merge.
-    struct Ref
-    {
-        Tick tick;
-        NodeId node;
-        std::uint32_t idx;
-    };
-    std::vector<Ref> order;
+    // node as tiebreaker is a true merge. The ref list is a member so
+    // each window edge reuses the last one's storage.
+    std::vector<FlushRef> &order = flushOrder_;
+    order.clear();
     for (NodeId n = 0; n < static_cast<NodeId>(numNodes_); ++n) {
         const auto &buf = buffers_[n].d;
         for (std::uint32_t i = 0; i < buf.size(); ++i)
-            order.push_back(Ref{buf[i].tick, n, i});
+            order.push_back(FlushRef{buf[i].tick, n, i});
     }
-    std::sort(order.begin(), order.end(), [](const Ref &a, const Ref &b) {
-        if (a.tick != b.tick)
-            return a.tick < b.tick;
-        if (a.node != b.node)
-            return a.node < b.node;
-        return a.idx < b.idx;
-    });
+    std::sort(order.begin(), order.end(),
+              [](const FlushRef &a, const FlushRef &b) {
+                  if (a.tick != b.tick)
+                      return a.tick < b.tick;
+                  if (a.node != b.node)
+                      return a.node < b.node;
+                  return a.idx < b.idx;
+              });
 
-    for (const Ref &r : order) {
+    for (const FlushRef &r : order) {
         Deferred &d = buffers_[r.node].d[r.idx];
         switch (d.k) {
           case Deferred::K::Handler:

@@ -177,6 +177,16 @@ class Sentinel
     std::vector<const EventQueue *> nodeEqs_;
     bool windowed_ = false;
 
+    /** Canonical-merge scratch reused across flushWindow() calls, so a
+     *  window edge allocates nothing in steady state. */
+    struct FlushRef
+    {
+        Tick tick;
+        NodeId node;
+        std::uint32_t idx;
+    };
+    std::vector<FlushRef> flushOrder_;
+
     bool dumped_ = false;
     int postMortemToken_ = -1;
 };

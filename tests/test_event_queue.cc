@@ -407,6 +407,71 @@ TEST(EventQueueTimer, ResetClearsTimers)
     EXPECT_EQ(fired, 0);
 }
 
+// ---------------------------------------------------------------------------
+// The O(1) horizon query backing the sharded coordinator's adaptive
+// windows (nextTick() runs once per shard per window edge).
+
+TEST(EventQueueHorizon, EmptyQueueReportsNever)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.nextTick(), EventQueue::kNever);
+}
+
+TEST(EventQueueHorizon, TracksEarliestEventAndArmedTimers)
+{
+    EventQueue eq;
+    eq.scheduleAt(100, [] {});
+    EXPECT_EQ(eq.nextTick(), 100u);
+    // An earlier schedule lowers the cached horizon in place...
+    eq.scheduleAt(60, [] {});
+    EXPECT_EQ(eq.nextTick(), 60u);
+    // ...a later one (overflow-heap range) leaves it alone...
+    eq.scheduleAt(EventQueue::kRingSize * 4, [] {});
+    EXPECT_EQ(eq.nextTick(), 60u);
+    // ...and armed timers bound it like any other event, which is what
+    // lets the window coordinator skip idle stretches without ever
+    // skipping a pending retransmit/retry fire.
+    eq.armTimer(30, [] {});
+    EXPECT_EQ(eq.nextTick(), 30u);
+}
+
+TEST(EventQueueHorizon, DrainTickRecomputesExactHorizon)
+{
+    EventQueue eq;
+    std::vector<Tick> seen;
+    eq.scheduleAt(10, [&] {
+        seen.push_back(eq.now());
+        eq.scheduleAt(12, [&] { seen.push_back(eq.now()); });
+    });
+    eq.scheduleAt(40, [&] { seen.push_back(eq.now()); });
+    EXPECT_EQ(eq.nextTick(), 10u);
+    eq.drainTick(10);
+    EXPECT_EQ(seen, (std::vector<Tick>{10}));
+    EXPECT_EQ(eq.nextTick(), 12u); // scheduled during the drain
+    eq.drainTick(12);
+    EXPECT_EQ(eq.nextTick(), 40u);
+    eq.drainTick(40);
+    EXPECT_EQ(eq.nextTick(), EventQueue::kNever);
+}
+
+TEST(EventQueueHorizon, CancelledTimerIsConservativeNeverLate)
+{
+    EventQueue eq;
+    int dead = 0, live = 0;
+    EventQueue::TimerId id = eq.armTimer(50, [&] { ++dead; });
+    eq.scheduleAt(200, [&] { ++live; });
+    eq.cancelTimer(id);
+    // Lazy cancellation may keep the horizon at the dead fire's tick (a
+    // window edge there just finds a no-op wrapper) — conservative is
+    // fine, but it must never report *past* the real work.
+    EXPECT_LE(eq.nextTick(), 200u);
+    while (eq.nextTick() != EventQueue::kNever)
+        eq.drainTick(eq.nextTick());
+    EXPECT_EQ(dead, 0);
+    EXPECT_EQ(live, 1);
+    EXPECT_EQ(eq.now(), 200u);
+}
+
 TEST(InlineCallback, MoveTransfersOwnershipAndDestroysOnce)
 {
     LifeProbe::live = 0;

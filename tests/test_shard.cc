@@ -263,5 +263,184 @@ TEST(ShardTest, LockAndBarrierTortureBitIdenticalAcrossShardCounts)
     EXPECT_TRUE(runTorture(4) == base);
 }
 
+// ---------------------------------------------------------------------------
+// Adaptive-lookahead coordinator: idle-window skipping, clamp edges,
+// and timers that span skipped windows. The engine counters
+// (Machine::shardStats) are asserted alongside the usual bit-identity;
+// they are deliberately outside the signature, since they vary with
+// shard count by design.
+
+struct SparseRun
+{
+    Tick execTime = 0;
+    Machine::ShardRunStats stats;
+};
+
+/** A few remote reads separated by long busy stretches: most of
+ *  virtual time is idle, so the coordinator should be skipping. */
+SparseRun
+runSparse(int shards, Cycles gap)
+{
+    MachineConfig cfg = MachineConfig::flash(8, 64u * 1024u);
+    cfg.shards = shards;
+    Machine m(cfg);
+    const Addr base = m.allocAuto(64 * 64);
+    SparseRun r;
+    r.execTime = m.run([base, gap](tango::Env &env) -> tango::Task {
+        co_await env.busy(0);
+        for (int i = 0; i < 6; ++i) {
+            const Addr a =
+                base +
+                static_cast<Addr>((env.id() * 13 + i * 5) % 64) * 64;
+            co_await env.read(a);
+            co_await env.busy(gap);
+        }
+    });
+    m.drain();
+    r.stats = m.shardStats();
+    return r;
+}
+
+TEST(ShardTest, SparseWorkloadSkipsIdleWindows)
+{
+    const SparseRun one = runSparse(1, 2000);
+    // Single-shard runs never enter the window loop: engine counters
+    // stay zero (and so can never contaminate a 1-shard signature).
+    EXPECT_EQ(one.stats.windowsRun, 0u);
+    EXPECT_EQ(one.stats.ticksSkipped, 0u);
+    for (int shards : {2, 4}) {
+        SCOPED_TRACE("shards " + std::to_string(shards));
+        const SparseRun r = runSparse(shards, 2000);
+        EXPECT_EQ(r.execTime, one.execTime);
+        EXPECT_GT(r.stats.windowsRun, 0u);
+        EXPECT_GT(r.stats.windowsSkipped, 0u);
+        EXPECT_GT(r.stats.ticksSkipped, 0u);
+        // The acceptance bar: on a mostly-idle run the majority of
+        // window edges jump over dead time (or widen past minimum).
+        EXPECT_GT(2 * (r.stats.windowsSkipped + r.stats.windowsWidened),
+                  r.stats.windowsRun);
+    }
+}
+
+TEST(ShardTest, ShardStatsExportToDenseHandles)
+{
+    MachineConfig cfg = MachineConfig::flash(8, 64u * 1024u);
+    cfg.shards = 2;
+    Machine m(cfg);
+    const Addr base = m.allocAuto(64 * 64);
+    m.run([base](tango::Env &env) -> tango::Task {
+        co_await env.busy(0);
+        co_await env.read(base + static_cast<Addr>(env.id()) * 64);
+        co_await env.busy(500);
+    });
+    m.drain();
+
+    StatSet stats;
+    machine::exportShardStats(m, stats);
+    const Machine::ShardRunStats &st = m.shardStats();
+    EXPECT_GT(st.windowsRun, 0u);
+    EXPECT_EQ(stats.get(stats.handle("shard.windows.run")),
+              static_cast<double>(st.windowsRun));
+    EXPECT_EQ(stats.get(stats.handle("shard.ticks.skipped")),
+              static_cast<double>(st.ticksSkipped));
+    EXPECT_EQ(stats.get(stats.handle("shard.width.mean")),
+              st.meanWidth());
+    EXPECT_EQ(stats.get(stats.handle("shard.sync.phases")),
+              static_cast<double>(st.syncPhases));
+}
+
+struct RetryRun
+{
+    Tick execTime = 0;
+    std::uint64_t retries = 0;
+    Machine::ShardRunStats stats;
+};
+
+RetryRun
+runRetry(int shards)
+{
+    // Drop 30% of requests at the home NI; the only recovery is the
+    // cache's retry timer, armed at exactly now + 2000 (doubling per
+    // retry) — ticks that sit deep inside idle stretches the
+    // coordinator skips over.
+    MachineConfig cfg = MachineConfig::flash(8, 64u * 1024u);
+    cfg.shards = shards;
+    cfg.magic.verify.oracle = true;
+    cfg.magic.verify.watchdog = true;
+    cfg.magic.verify.haltOnViolation = false;
+    cfg.magic.verify.haltOnTrip = false;
+    cfg.magic.verify.fault.enabled = true;
+    cfg.magic.verify.fault.seed = 13;
+    cfg.magic.verify.fault.txnDropProb = 0.3;
+    cfg.magic.txnRetryTimeout = 2000;
+    Machine m(cfg);
+    const Addr base = m.allocAuto(64 * 64);
+    RetryRun r;
+    r.execTime = m.run([base](tango::Env &env) -> tango::Task {
+        co_await env.busy(0);
+        for (int i = 0; i < 4; ++i) {
+            const Addr a =
+                base +
+                static_cast<Addr>((env.id() * 13 + i * 5) % 64) * 64;
+            co_await env.read(a);
+            co_await env.busy(1200);
+        }
+    });
+    m.drain();
+    r.retries = machine::summarize(m).timeoutRetries;
+    r.stats = m.shardStats();
+    return r;
+}
+
+TEST(ShardTest, RetryTimersFireExactlyAcrossSkippedWindows)
+{
+    // The run only stays bit-identical across shard counts if armed
+    // timers bound the skip horizon and fire at their exact ticks —
+    // a coordinator that jumped past one would retry late (different
+    // execTime), one that clamped early would just be slow.
+    const RetryRun one = runRetry(1);
+    EXPECT_GT(one.retries, 0u);
+    for (int shards : {2, 4}) {
+        SCOPED_TRACE("shards " + std::to_string(shards));
+        const RetryRun r = runRetry(shards);
+        EXPECT_EQ(r.execTime, one.execTime);
+        EXPECT_EQ(r.retries, one.retries);
+        EXPECT_GT(r.stats.windowsSkipped, 0u);
+    }
+}
+
+TEST(ShardTest, UnitLookaheadWindowEdgesStayBitIdentical)
+{
+    // Degenerate W=1: distance-based transit with perHop 0 and a
+    // 1-cycle header makes the minimum cross-node transit — and so the
+    // base window — a single tick. Every event lands on a window edge;
+    // only the idle-skip keeps this from being one barrier per tick.
+    auto sig = [](int shards) {
+        MachineConfig cfg = shardConfig(shards, 0);
+        cfg.net.distanceBased = true;
+        cfg.net.perHop = 0;
+        cfg.net.header = 1;
+        auto w = makeShardWorkload(2);
+        auto m = runWorkload(cfg, *w);
+        EXPECT_EQ(m->lookahead(), 1u);
+        return signature(*m);
+    };
+    const std::string base = sig(1);
+    EXPECT_EQ(sig(2), base);
+}
+
+TEST(ShardTest, OneNodePerShardClampStaysBitIdentical)
+{
+    // cfg.shards far above the node count clamps to one node per shard
+    // — the narrowest partition the coordinator supports — and must
+    // still match the single-threaded oracle.
+    MachineConfig cfg = shardConfig(64, 0);
+    auto w = makeShardWorkload(0);
+    auto m = runWorkload(cfg, *w);
+    EXPECT_EQ(m->shards(), 8);
+    EXPECT_GT(m->shardStats().windowsRun, 0u);
+    EXPECT_EQ(signature(*m), runSignature(1, 0, 0));
+}
+
 } // namespace
 } // namespace flashsim::apps
